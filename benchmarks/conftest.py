@@ -1,0 +1,38 @@
+"""Shared fixtures for the benchmark harness.
+
+The expensive campaign artefacts (corpus, knowledge base, COTS matrix,
+fine-tuned matrix) are built once per session on a representative subset of
+the benchmark; every per-figure benchmark then regenerates its table/series
+from them and prints the reproduced rows.  Set the environment variable
+``REPRO_FULL=1`` to run the campaigns over the full 100-design test set
+(slower, paper-scale).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core import ExperimentSuite, SuiteConfig
+
+_FULL = os.environ.get("REPRO_FULL", "0") == "1"
+
+
+@pytest.fixture(scope="session")
+def suite() -> ExperimentSuite:
+    config = SuiteConfig(
+        num_cots_designs=None if _FULL else 12,
+        num_finetune_designs=None if _FULL else 20,
+    )
+    return ExperimentSuite(config)
+
+
+@pytest.fixture(scope="session")
+def cots_matrix(suite):
+    return suite.cots_matrix()
+
+
+@pytest.fixture(scope="session")
+def finetune_campaign(suite):
+    return suite.finetune_campaign()

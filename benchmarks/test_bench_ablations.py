@@ -1,0 +1,71 @@
+"""Ablation benches for the design choices the paper discusses.
+
+* syntax corrector on vs off (the structural difference between Figure 4 and
+  Figure 8),
+* k-shot sweep beyond {1, 5},
+* fine-tuning data-fraction sweep (the competence curve behind Figure 9).
+"""
+
+import pytest
+
+from repro.core import EvaluationPipeline, PipelineConfig
+from repro.llm import CODELLAMA_2, GPT_35, FineTuner, FineTuningConfig, SimulatedCotsLLM, competence_from
+
+
+def test_ablation_syntax_corrector(benchmark, suite):
+    """Removing the corrector can only keep or increase the Error fraction."""
+    design = suite.corpus.design("counter8")
+    generator = SimulatedCotsLLM(GPT_35, suite.knowledge)
+    examples = suite.examples.for_k(5)
+    pipeline = EvaluationPipeline(PipelineConfig())
+
+    def with_corrector():
+        return pipeline.evaluate_design(generator, design, examples, k=5, use_corrector=True)
+
+    corrected = benchmark(with_corrector)
+    uncorrected = pipeline.evaluate_design(
+        generator, design, examples, k=5, use_corrector=False
+    )
+    print()
+    print("corrector on :", corrected.counts.fractions())
+    print("corrector off:", uncorrected.counts.fractions())
+    assert uncorrected.counts.error >= corrected.counts.error
+
+
+@pytest.mark.parametrize("k", [0, 1, 3, 5], ids=lambda k: f"{k}-shot")
+def test_ablation_kshot_sweep(benchmark, suite, k):
+    """Sweep k beyond the paper's {1, 5} settings."""
+    design = suite.corpus.design("mod10_counter")
+    generator = SimulatedCotsLLM(GPT_35, suite.knowledge)
+    examples = suite.examples.for_k(k) if k else []
+    pipeline = EvaluationPipeline(PipelineConfig())
+
+    def evaluate():
+        return pipeline.evaluate_design(generator, design, examples, k=k)
+
+    evaluation = benchmark(evaluate)
+    assert evaluation.num_generated >= 0
+
+
+def test_ablation_finetune_data_fraction(suite):
+    """Competence grows monotonically with the amount of fine-tuning data."""
+    config = FineTuningConfig()
+    competences = [competence_from(n, config.epochs, config) for n in (0, 5, 20, 40, 75)]
+    print()
+    print("competence curve:", [round(c, 3) for c in competences])
+    assert competences == sorted(competences)
+    assert competences[0] == 0.0 and competences[-1] <= 1.0
+
+
+def test_ablation_finetune_epoch_sweep(benchmark, suite):
+    """Fewer epochs yield a less competent model (learning-rate ablation)."""
+    designs = suite.corpus.test_designs(limit=8)
+    tuner = FineTuner(suite.knowledge, FineTuningConfig())
+
+    def short_training():
+        model, _ = tuner.finetune(CODELLAMA_2, designs, epochs=2)
+        return model
+
+    short = benchmark(short_training)
+    full, _ = tuner.finetune(CODELLAMA_2, designs, epochs=20)
+    assert short.competence < full.competence

@@ -1,0 +1,34 @@
+"""E7-E8 — Figure 7: cross-model comparison of assertion accuracy per k.
+
+Regenerates the per-k comparison of all four COTS models and benchmarks the
+aggregation/rendering step.
+"""
+
+import pytest
+
+from repro.core import accuracy_matrix_report, figure7_model_comparison
+
+
+@pytest.mark.parametrize("k", [1, 5], ids=["1-shot", "5-shot"])
+def test_figure7_cross_model_comparison(benchmark, cots_matrix, k):
+    figure = benchmark(figure7_model_comparison, cots_matrix, k)
+    print()
+    print(figure.text)
+    assert len(figure.series) == 4
+    for bars in figure.series.values():
+        assert abs(sum(bars.values()) - 1.0) < 1e-6
+
+
+def test_figure7_gpt4o_is_most_consistent(cots_matrix):
+    """Observation 3: GPT-4o produces the most valid assertions at both k."""
+    for k in (1, 5):
+        figure = figure7_model_comparison(cots_matrix, k)
+        best = max(figure.series, key=lambda name: figure.series[name]["Pass"])
+        assert best == "GPT-4o"
+
+
+def test_full_accuracy_matrix_report(benchmark, cots_matrix):
+    report = benchmark(accuracy_matrix_report, cots_matrix, "COTS accuracy (Figures 6-7)")
+    print()
+    print(report.text)
+    assert len(report.rows) == 8

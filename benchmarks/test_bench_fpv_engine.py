@@ -1,0 +1,37 @@
+"""Substrate benchmark: the FPV engine on the paper's Section II example.
+
+Not a paper figure by itself, but the FPV engine sits under every
+experiment; this benchmark tracks the cost of a complete explicit-state
+proof (P1) and of a counterexample search (P2) on the arb2 arbiter, plus a
+simulation-falsification check on a large design.
+"""
+
+import pytest
+
+from repro.fpv import EngineConfig, FormalEngine, ProofStatus
+
+P1 = "(req1 == 1 && req2 == 0) |-> (gnt1 == 1);"
+P2 = "(req2 == 0 && gnt_ == 1) ##1 (req1 == 1) |=> (gnt1 == 1);"
+
+
+@pytest.mark.parametrize("assertion,expected", [(P1, ProofStatus.PROVEN), (P2, ProofStatus.CEX)],
+                         ids=["P1-proven", "P2-cex"])
+def test_explicit_state_check(benchmark, suite, assertion, expected):
+    design = suite.corpus.design("arb2")
+
+    def check():
+        return FormalEngine(design).check(assertion)
+
+    result = benchmark(check)
+    assert result.status is expected
+
+
+def test_simulation_falsification_on_large_design(benchmark, suite):
+    design = suite.corpus.design("ca_prng")
+    engine = FormalEngine(design, EngineConfig(fallback_cycles=128, fallback_seeds=1))
+
+    def check():
+        return engine.check("(en == 1 && load == 0) |=> (pattern_valid == 1);")
+
+    result = benchmark(check)
+    assert result.is_pass

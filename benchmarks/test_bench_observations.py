@@ -1,0 +1,37 @@
+"""E11 — Observations 1-6: the paper's quantitative claims.
+
+Prints every reproduced observation next to the paper's reported value and
+benchmarks the observation computation.
+"""
+
+from repro.core import all_observations
+
+
+def test_observations_report(benchmark, cots_matrix, finetune_campaign):
+    checks = benchmark(all_observations, cots_matrix, finetune_campaign.matrix)
+    print()
+    for check in checks:
+        print(check.summary())
+    assert len(checks) >= 12
+    # The directional claims the reproduction is expected to preserve:
+    # Observation 1 (LLaMa3 regression), 3 (GPT-4o best), 5 (CodeLLaMa gains),
+    # and 6 (residual errors) must all hold.
+    critical = [
+        check
+        for check in checks
+        if check.observation in ("Observation 3", "Observation 6")
+        or "LLaMa3-70B loses" in check.description
+        or ("CodeLLaMa 2 fine-tuning" in check.description)
+    ]
+    assert critical
+    failed = [check.summary() for check in critical if not check.holds]
+    assert not failed, f"directional claims not reproduced: {failed}"
+
+
+def test_observation4_headroom(cots_matrix):
+    """Observation 4: substantial CEX/Error fractions remain for every model."""
+    for model in cots_matrix.model_names:
+        for k in cots_matrix.results[model]:
+            result = cots_matrix.get(model, k)
+            assert result.pass_fraction < 0.75
+            assert result.cex_fraction + result.error_fraction > 0.25

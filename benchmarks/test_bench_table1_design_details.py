@@ -1,0 +1,27 @@
+"""E2 — Table I: representative design details.
+
+Regenerates the table of the largest test designs (name, LoC, type,
+functionality) and benchmarks corpus elaboration of those designs.
+"""
+
+from repro.core import table1_design_details
+from repro.hdl import Design
+
+
+def test_table1_representative_designs(benchmark, suite):
+    corpus = suite.corpus
+    representatives = corpus.representative_designs(5)
+    sources = [(design.name, design.source) for design in representatives]
+
+    def elaborate_all():
+        return [Design.from_source(source, name=name) for name, source in sources]
+
+    designs = benchmark(elaborate_all)
+    table = table1_design_details(corpus)
+    print()
+    print(table.text)
+    assert len(designs) == 5
+    assert {row[2] for row in table.rows} <= {"Sequential", "Combinational"}
+    # The largest design, like the paper's ca_prng, is a sequential pattern generator.
+    assert table.rows[0][0] == "ca_prng"
+    assert int(table.rows[0][1]) > 1000

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Debug a failing assertion: counterexample waveforms and vacuity analysis.
+
+A verification-engineer-facing scenario: take a handful of hand-written
+assertions about the credit-based flow controller, discharge them on the FPV
+engine, print counterexample waveforms for the failing ones, and show how the
+static analysis (cone of influence) explains which signals matter.
+
+Run:  python examples/debug_counterexample.py
+"""
+
+from repro.analysis import cone_of_influence, influence_ranking
+from repro.bench import AssertionBenchCorpus
+from repro.fpv import FormalEngine
+
+ASSERTIONS = [
+    # Credits never exceed the reset value of 15.
+    "(credits <= 15)",
+    # A send with credits available is always forwarded.
+    "(send_req == 1 && credits != 0) |-> (tx_valid == 1);",
+    # Claim: sending always decrements credits (wrong - a simultaneous credit
+    # return keeps the counter unchanged, so this should produce a CEX).
+    "(rst == 0 && send_req == 1 && credits == 5) |=> (credits == 4);",
+    # Stall is only raised when credits are exhausted.
+    "(stalled == 1) |-> (credits == 0);",
+    # Vacuous by construction: the credit counter can never hold 16.
+    "(credits == 16) |-> (tx_valid == 1);",
+]
+
+
+def main() -> None:
+    corpus = AssertionBenchCorpus()
+    design = corpus.design("flow_ctrl")
+    print(f"Design under verification: {design.describe()}")
+    print()
+
+    print("Signals that influence 'credits':", sorted(cone_of_influence(design, "credits")))
+    print("Most influential signals:", influence_ranking(design)[:5])
+    print()
+
+    engine = FormalEngine(design)
+    for text in ASSERTIONS:
+        result = engine.check(text)
+        print(result.summary())
+        if result.counterexample is not None:
+            print(result.counterexample.format(
+                ["rst", "send_req", "credit_return", "credits", "tx_valid", "stalled"]
+            ))
+        print()
+
+
+if __name__ == "__main__":
+    main()

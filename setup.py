@@ -1,0 +1,4 @@
+"""Setup shim so legacy editable installs (setup.py develop) work offline."""
+from setuptools import setup
+
+setup()

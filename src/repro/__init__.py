@@ -1,0 +1,34 @@
+"""repro: reproduction of "Are LLMs Ready for Practical Adoption for Assertion
+Generation?" (DATE 2025).
+
+The package implements the paper's two contributions — the **AssertionBench**
+benchmark/evaluation framework and the fine-tuned **AssertionLLM** generator —
+together with every substrate they depend on, built from scratch:
+
+* :mod:`repro.hdl`      — Verilog-subset frontend (lexer, parser, elaboration)
+* :mod:`repro.sim`      — cycle-accurate simulator, stimulus, traces, VCD
+* :mod:`repro.analysis` — CDFG / variable-dependency / cone-of-influence graphs
+* :mod:`repro.sva`      — SystemVerilog Assertion subset, checker, corrector
+* :mod:`repro.fpv`      — formal property verification engine (JasperGold substitute)
+* :mod:`repro.mining`   — GoldMine/HARM-style assertion miners and ranking
+* :mod:`repro.llm`      — prompts, simulated COTS LLMs, trainable AssertionLLM
+* :mod:`repro.bench`    — the AssertionBench design corpus and ICE construction
+* :mod:`repro.core`     — evaluation pipelines, metrics, figure/table reports
+"""
+
+from . import analysis, bench, core, fpv, hdl, llm, mining, sim, sva
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analysis",
+    "bench",
+    "core",
+    "fpv",
+    "hdl",
+    "llm",
+    "mining",
+    "sim",
+    "sva",
+    "__version__",
+]

@@ -1,0 +1,21 @@
+"""Static analysis: variable dependency graph, CDFG, cone of influence."""
+
+from .graphs import (
+    coi_features,
+    cone_of_influence,
+    control_data_flow_graph,
+    fanout_cone,
+    influence_ranking,
+    sequential_depth,
+    variable_dependency_graph,
+)
+
+__all__ = [
+    "coi_features",
+    "cone_of_influence",
+    "control_data_flow_graph",
+    "fanout_cone",
+    "influence_ranking",
+    "sequential_depth",
+    "variable_dependency_graph",
+]

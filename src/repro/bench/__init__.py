@@ -1,0 +1,17 @@
+"""AssertionBench: the design corpus, knowledge base, and ICE construction."""
+
+from .corpus import TEST_SPECS, TRAINING_SPECS, AssertionBenchCorpus, CorpusSpec, load_corpus
+from .icl import IclExampleSet, build_icl_examples
+from .knowledge import DesignKnowledge, DesignKnowledgeBase
+
+__all__ = [
+    "AssertionBenchCorpus",
+    "CorpusSpec",
+    "DesignKnowledge",
+    "DesignKnowledgeBase",
+    "IclExampleSet",
+    "TEST_SPECS",
+    "TRAINING_SPECS",
+    "build_icl_examples",
+    "load_corpus",
+]

@@ -1,0 +1,247 @@
+"""AssertionBench design corpus: 5 training designs + 100 test designs.
+
+The paper's benchmark (Section III) has a training set of five fundamental
+designs (Arbiter, Half Adder, Full Adder, T flip-flop, Full Subtractor) whose
+formally verified assertions seed the in-context examples, and a test set of
+100 OpenCores designs, split between combinational and sequential, spanning
+10 to ~1150 lines of code and covering communication controllers, RNGs for
+security hardware, arithmetic datapaths, state machines, and flow-control
+hardware.  This module assembles an equivalent corpus from the synthesizable
+builders in :mod:`repro.bench.designs` (the substitution is documented in
+DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import partial
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..hdl.design import Design
+from .designs import arithmetic, basic, comm, fsm, memory, sequential
+
+
+@dataclass(frozen=True)
+class CorpusSpec:
+    """Recipe for one corpus design."""
+
+    name: str
+    category: str
+    functionality: str
+    builder: Callable[[], str]
+    split: str = "test"
+
+
+def _spec(name, category, functionality, builder, split="test") -> CorpusSpec:
+    return CorpusSpec(name, category, functionality, builder, split)
+
+
+#: The five training designs (Section III of the paper).
+TRAINING_SPECS: List[CorpusSpec] = [
+    _spec("arb2", "arbitration", "2-port arbiter", basic.arb2, "train"),
+    _spec("half_adder", "arithmetic", "Half adder", basic.half_adder, "train"),
+    _spec("full_adder", "arithmetic", "Full adder", basic.full_adder, "train"),
+    _spec("t_flip_flop", "storage", "T flip-flop", basic.t_flip_flop, "train"),
+    _spec("full_subtractor", "arithmetic", "Full subtractor", basic.full_subtractor, "train"),
+]
+
+
+#: The 100 test designs, ordered roughly by category.
+TEST_SPECS: List[CorpusSpec] = [
+    # -- small combinational blocks -------------------------------------------------
+    _spec("d_flip_flop", "storage", "D flip-flop with enable", basic.d_flip_flop),
+    _spec("mux4_w2", "datapath", "4-to-1 multiplexer, 2-bit", partial(basic.mux4, 2)),
+    _spec("mux4_w8", "datapath", "4-to-1 multiplexer, 8-bit", partial(basic.mux4, 8)),
+    _spec("decoder4", "datapath", "2-to-4 decoder", partial(basic.decoder, 2)),
+    _spec("decoder8", "datapath", "3-to-8 decoder", partial(basic.decoder, 3)),
+    _spec("decoder16", "datapath", "4-to-16 decoder", partial(basic.decoder, 4)),
+    _spec("priority_encoder4", "datapath", "4-line priority encoder", partial(basic.priority_encoder, 2)),
+    _spec("priority_encoder8", "datapath", "8-line priority encoder", partial(basic.priority_encoder, 3)),
+    _spec("comparator8", "datapath", "8-bit magnitude comparator", partial(basic.comparator, 8)),
+    _spec("parity_gen8", "coding", "8-bit parity generator", partial(basic.parity_generator, 8)),
+    _spec("gray_encoder4", "coding", "4-bit binary-to-Gray encoder", partial(basic.gray_encoder, 4)),
+    _spec("inputReg", "storage", "Registered input stage", partial(basic.input_register, 8)),
+    _spec("bitNegator", "datapath", "Registered bitwise negator", partial(basic.bit_negator, 8)),
+    _spec("clean_rst", "infrastructure", "Reset synchroniser", basic.clean_reset),
+    _spec("tcReset", "infrastructure", "Terminal-count reset generator", basic.tc_reset),
+    # -- arithmetic datapaths ----------------------------------------------------------
+    _spec("rca4", "arithmetic", "4-bit ripple-carry adder", partial(arithmetic.ripple_carry_adder, 4)),
+    _spec("rca8", "arithmetic", "8-bit ripple-carry adder", partial(arithmetic.ripple_carry_adder, 8)),
+    _spec("rca16", "arithmetic", "16-bit ripple-carry adder", partial(arithmetic.ripple_carry_adder, 16)),
+    _spec("rca32", "arithmetic", "32-bit ripple-carry adder", partial(arithmetic.ripple_carry_adder, 32)),
+    _spec("csel_adder8", "arithmetic", "8-bit carry-select adder", partial(arithmetic.carry_select_adder, 8)),
+    _spec("csel_adder16", "arithmetic", "16-bit carry-select adder", partial(arithmetic.carry_select_adder, 16)),
+    _spec("alu4", "arithmetic", "4-bit ALU", partial(arithmetic.alu, 4)),
+    _spec("alu8", "arithmetic", "8-bit ALU", partial(arithmetic.alu, 8)),
+    _spec("alu16", "arithmetic", "16-bit ALU", partial(arithmetic.alu, 16)),
+    _spec("qadd", "arithmetic", "Fixed-point saturating adder", partial(arithmetic.qadd, 16)),
+    _spec("multiplier4", "arithmetic", "4-bit shift-add multiplier", partial(arithmetic.shift_add_multiplier, 4)),
+    _spec("multiplier8", "arithmetic", "8-bit shift-add multiplier", partial(arithmetic.shift_add_multiplier, 8)),
+    _spec("barrel_shifter8", "datapath", "8-bit barrel shifter", partial(arithmetic.barrel_shifter, 8)),
+    _spec("barrel_shifter16", "datapath", "16-bit barrel shifter", partial(arithmetic.barrel_shifter, 16)),
+    _spec("barrel_shifter32", "datapath", "32-bit barrel shifter", partial(arithmetic.barrel_shifter, 32)),
+    _spec("sat_accum8", "arithmetic", "Saturating accumulator, 8-bit", partial(arithmetic.saturating_accumulator, 8)),
+    _spec("abs_diff8", "arithmetic", "Absolute difference unit", partial(arithmetic.abs_diff, 8)),
+    _spec("mtx_trps_4x4", "dsp", "4x4 matrix transpose", partial(arithmetic.matrix_transpose, 4, 4)),
+    _spec("mtx_trps_8x8_dpsra", "dsp", "8x8 matrix transpose", partial(arithmetic.matrix_transpose, 8, 4)),
+    _spec("fht_1d_x8", "dsp", "8-point fast Hartley transform stage", partial(arithmetic.fht_butterfly, 8, 8)),
+    _spec("fht_1d_x16", "dsp", "16-point fast Hartley transform stage", partial(arithmetic.fht_butterfly, 16, 8)),
+    # -- counters, shift registers, RNGs ---------------------------------------------------
+    _spec("counter", "sequential", "4-bit up counter", partial(sequential.up_counter, 4)),
+    _spec("counter8", "sequential", "8-bit up counter", partial(sequential.up_counter, 8)),
+    _spec("counter16", "sequential", "16-bit up counter", partial(sequential.up_counter, 16)),
+    _spec("updown_counter4", "sequential", "4-bit up/down counter", partial(sequential.up_down_counter, 4)),
+    _spec("mod10_counter", "sequential", "Decade counter", partial(sequential.mod_counter, 10, 4)),
+    _spec("mod6_counter", "sequential", "Modulo-6 counter", partial(sequential.mod_counter, 6, 3)),
+    _spec("gray_counter4", "sequential", "4-bit Gray-code counter", partial(sequential.gray_counter, 4)),
+    _spec("gray_counter6", "sequential", "6-bit Gray-code counter", partial(sequential.gray_counter, 6)),
+    _spec("shift_reg8", "sequential", "8-stage shift register", partial(sequential.shift_register, 8)),
+    _spec("shift_reg16", "sequential", "16-stage shift register", partial(sequential.shift_register, 16)),
+    _spec("shift_reg32", "sequential", "32-stage shift register", partial(sequential.shift_register, 32)),
+    _spec("lfsr8", "security", "8-bit LFSR random number generator", partial(sequential.lfsr, 8)),
+    _spec("lfsr16", "security", "16-bit LFSR random number generator", partial(sequential.lfsr, 16)),
+    _spec("prng_small", "security", "4-bank pattern generator", partial(sequential.prng_bank, 4, 8)),
+    _spec("ca_prng", "security", "Compact pattern generator", partial(sequential.prng_bank, 32, 28)),
+    _spec("eth_clockgen", "infrastructure", "Programmable clock divider", partial(sequential.clock_divider, 3)),
+    _spec("pwm4", "control", "4-bit pulse-width modulator", partial(sequential.pwm_generator, 4)),
+    _spec("watchdog4", "control", "4-bit watchdog timer", partial(sequential.watchdog_timer, 4)),
+    _spec("debouncer3", "control", "Switch debouncer", partial(sequential.debouncer, 3)),
+    _spec("reg_int_sim", "control", "Interrupt status register", partial(sequential.register_with_interrupt, 8)),
+    _spec("phasecomparator", "mixed-signal", "Phase/frequency comparator", sequential.phase_comparator),
+    # -- finite state machines -------------------------------------------------------------
+    _spec("seq_detect_1011", "fsm", "Sequence detector for 1011", partial(fsm.sequence_detector, "1011")),
+    _spec("seq_detect_110", "fsm", "Sequence detector for 110", partial(fsm.sequence_detector, "110")),
+    _spec("seq_detect_10110", "fsm", "Sequence detector for 10110", partial(fsm.sequence_detector, "10110")),
+    _spec("traffic_light", "fsm", "Traffic light controller", fsm.traffic_light),
+    _spec("vending_machine", "fsm", "Vending machine controller", fsm.vending_machine),
+    _spec("handshake_ctrl", "fsm", "Four-phase handshake controller", fsm.handshake_controller),
+    _spec("uart_tx", "communication", "UART transmitter", partial(fsm.uart_tx, 8)),
+    _spec("rxStateMachine", "communication", "Serial receiver state machine", partial(fsm.rx_state_machine, 8)),
+    _spec("mem_ctrl_fsm", "fsm", "SRAM controller FSM", fsm.memory_controller_fsm),
+    _spec("elevator4", "fsm", "4-floor elevator controller", partial(fsm.elevator_controller, 4)),
+    _spec("flow_ctrl", "flow-control", "Credit-based flow controller", partial(fsm.flow_control, 4)),
+    _spec("crc_control_unit", "communication", "CRC datapath control unit", fsm.crc_control_unit),
+    # -- coding and communication ------------------------------------------------------------
+    _spec("crc5_gen", "communication", "CRC-5 generator", partial(comm.crc_generator, 5, 4)),
+    _spec("crc8_gen", "communication", "CRC-8 generator", partial(comm.crc_generator, 8, 8)),
+    _spec("crc16_gen", "communication", "CRC-16 generator", partial(comm.crc_generator, 16, 8)),
+    _spec("crc32_gen", "communication", "CRC-32 generator", partial(comm.crc_generator, 32, 8)),
+    _spec("can_crc", "communication", "CAN bus CRC-15", comm.can_crc),
+    _spec("eth_l3_checksum", "communication", "Ones-complement checksum", partial(comm.checksum_unit, 8)),
+    _spec("hamming_encoder", "coding", "Hamming(7,4) encoder", comm.hamming_encoder),
+    _spec("hamming_decoder", "coding", "Hamming(7,4) decoder", comm.hamming_decoder),
+    _spec("scrambler7", "coding", "Self-synchronising scrambler", partial(comm.scrambler, 7)),
+    _spec("manchester_encoder", "coding", "Manchester encoder", comm.manchester_encoder),
+    _spec("MAC_tx_Ctrl", "communication", "Ethernet MAC transmit controller", comm.mac_tx_ctrl),
+    _spec("ge_1000baseX_rx", "communication", "1000BASE-X PCS receive synchroniser", comm.ge_1000basex_rx),
+    _spec("PSGBusArb", "arbitration", "Fixed-priority bus arbiter", partial(comm.bus_arbiter, 4)),
+    _spec("PSGOutputSummer", "dsp", "Registered channel summer", partial(comm.output_summer, 3, 8)),
+    _spec("cavlc_read_total_coeffs", "video", "Video encoder coefficient table", partial(comm.cavlc_coeff_table, 16, 64)),
+    _spec("cavlc_read_total_zeros", "video", "Video encoder total-zeros table", comm.cavlc_zeros_table),
+    _spec("key_expander", "security", "Block-cipher key schedule", partial(comm.key_expander, 16, 4)),
+    _spec("can_register_asyn_syn", "communication", "CAN register with set/clear", comm.can_register_async),
+    # -- storage and interconnect ----------------------------------------------------------------
+    _spec("fifo_mem", "storage", "Synchronous FIFO", partial(memory.fifo_mem, 4, 4)),
+    _spec("fifo_mem8", "storage", "Synchronous FIFO, 8 deep", partial(memory.fifo_mem, 8, 8)),
+    _spec("eth_fifo", "storage", "FIFO with status flags", partial(memory.eth_fifo, 4, 8)),
+    _spec("stack_lifo", "storage", "LIFO stack", partial(memory.stack, 4, 4)),
+    _spec("register_file", "storage", "Register file, 2R1W", partial(memory.register_file, 4, 4)),
+    _spec("rr_arbiter4", "arbitration", "Round-robin arbiter, 4 ports", partial(memory.round_robin_arbiter, 4)),
+    _spec("node", "network-on-chip", "Mesh router node", partial(memory.noc_node, 4)),
+    _spec("decoder64", "datapath", "6-to-64 decoder", partial(basic.decoder, 6)),
+    _spec("mtx_trps_12x12", "dsp", "12x12 matrix transpose", partial(arithmetic.matrix_transpose, 12, 4)),
+    _spec("ge_prng_mid", "security", "16-bank pattern generator", partial(sequential.prng_bank, 16, 16)),
+    _spec("cavlc_read_levels", "video", "Video encoder level decode table", partial(comm.cavlc_coeff_table, 16, 16)),
+    _spec("register_file16", "storage", "Register file, 16 entries", partial(memory.register_file, 16, 8)),
+    _spec("sync2", "infrastructure", "2-stage synchroniser", partial(memory.synchronizer, 2, 1)),
+]
+
+
+class AssertionBenchCorpus:
+    """Lazily built collection of the benchmark's designs."""
+
+    def __init__(self, specs: Optional[Sequence[CorpusSpec]] = None):
+        self._specs: List[CorpusSpec] = list(specs) if specs is not None else (
+            TRAINING_SPECS + TEST_SPECS
+        )
+        self._cache: Dict[str, Design] = {}
+
+    # -- access --------------------------------------------------------------------
+
+    @property
+    def specs(self) -> List[CorpusSpec]:
+        return list(self._specs)
+
+    def names(self, split: Optional[str] = None) -> List[str]:
+        return [spec.name for spec in self._specs if split is None or spec.split == split]
+
+    def design(self, name: str) -> Design:
+        """Build (or fetch from cache) one design by name."""
+        if name in self._cache:
+            return self._cache[name]
+        for spec in self._specs:
+            if spec.name == name:
+                design = self._build(spec)
+                self._cache[name] = design
+                return design
+        raise KeyError(f"no corpus design named {name!r}")
+
+    def training_designs(self) -> List[Design]:
+        """The five training designs used for ICE construction."""
+        return [self.design(spec.name) for spec in self._specs if spec.split == "train"]
+
+    def test_designs(self, limit: Optional[int] = None) -> List[Design]:
+        """The test designs, optionally truncated to the first ``limit``."""
+        names = [spec.name for spec in self._specs if spec.split == "test"]
+        if limit is not None:
+            names = names[:limit]
+        return [self.design(name) for name in names]
+
+    def all_designs(self) -> List[Design]:
+        return [self.design(spec.name) for spec in self._specs]
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    def __iter__(self):
+        return (self.design(spec.name) for spec in self._specs)
+
+    # -- reports ---------------------------------------------------------------------
+
+    def loc_by_design(self, split: str = "test") -> Dict[str, int]:
+        """Design name -> lines of code (Figure 3 data)."""
+        return {design.name: design.loc for design in self._iter_split(split)}
+
+    def representative_designs(self, count: int = 5) -> List[Design]:
+        """The ``count`` largest test designs (Table I rows)."""
+        designs = sorted(self._iter_split("test"), key=lambda d: -d.loc)
+        return designs[:count]
+
+    def split_counts(self) -> Dict[str, int]:
+        """Number of combinational vs sequential designs in the test set."""
+        counts = {"combinational": 0, "sequential": 0}
+        for design in self._iter_split("test"):
+            counts[design.design_type] += 1
+        return counts
+
+    def _iter_split(self, split: str):
+        for spec in self._specs:
+            if spec.split == split:
+                yield self.design(spec.name)
+
+    # -- construction ------------------------------------------------------------------
+
+    def _build(self, spec: CorpusSpec) -> Design:
+        source = spec.builder()
+        design = Design.from_source(
+            source,
+            name=spec.name,
+            functionality=spec.functionality,
+            category=spec.category,
+        )
+        return design
+
+
+def load_corpus() -> AssertionBenchCorpus:
+    """Load the full AssertionBench corpus (5 training + 100 test designs)."""
+    return AssertionBenchCorpus()

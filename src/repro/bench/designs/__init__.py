@@ -1,0 +1,11 @@
+"""Verilog design builders for the AssertionBench corpus.
+
+Each builder returns Verilog source text for one synthesizable module within
+the supported subset.  The corpus assembly in :mod:`repro.bench.corpus`
+instantiates these builders (with varying parameters) into the training and
+test design sets.
+"""
+
+from . import arithmetic, basic, comm, fsm, memory, sequential
+
+__all__ = ["arithmetic", "basic", "comm", "fsm", "memory", "sequential"]

@@ -1,0 +1,301 @@
+"""Basic training-set designs and small combinational blocks.
+
+The paper's training set (Section III) consists of an Arbiter, Half Adder,
+Full Adder, T flip-flop, and Full Subtractor; the arbiter reproduced here is
+the corrected version of Figure 1 (the published listing's priority branch
+``gnt1 = req1 & req2`` contradicts the claimed verdict of assertion P1, so we
+use ``gnt1 = req1 & ~req2``, which makes P1 provable and P2 a CEX exactly as
+the paper reports).
+"""
+
+from __future__ import annotations
+
+
+def arb2() -> str:
+    """2-port arbiter from the paper's Figure 1 (with the priority fix)."""
+    return """\
+module arb2(clk, rst, req1, req2, gnt1, gnt2);
+  input clk, rst, req1, req2;
+  output gnt1, gnt2;
+  reg gnt_;
+  reg gnt1, gnt2;
+  always @(posedge clk or posedge rst)
+    if (rst)
+      gnt_ <= 0;
+    else
+      gnt_ <= gnt1;
+  always @(*)
+    if (gnt_)
+      begin
+        gnt1 = req1 & ~req2;
+        gnt2 = req2;
+      end
+    else
+      begin
+        gnt1 = req1;
+        gnt2 = req2 & ~req1;
+      end
+endmodule
+"""
+
+
+def half_adder() -> str:
+    """Combinational half adder."""
+    return """\
+module half_adder(a, b, sum, carry);
+  input a, b;
+  output sum, carry;
+  assign sum = a ^ b;
+  assign carry = a & b;
+endmodule
+"""
+
+
+def full_adder() -> str:
+    """Combinational full adder."""
+    return """\
+module full_adder(a, b, cin, sum, cout);
+  input a, b, cin;
+  output sum, cout;
+  wire p, g, c1;
+  assign p = a ^ b;
+  assign g = a & b;
+  assign sum = p ^ cin;
+  assign c1 = p & cin;
+  assign cout = g | c1;
+endmodule
+"""
+
+
+def full_subtractor() -> str:
+    """Combinational full subtractor."""
+    return """\
+module full_subtractor(a, b, bin, diff, bout);
+  input a, b, bin;
+  output diff, bout;
+  wire axb;
+  assign axb = a ^ b;
+  assign diff = axb ^ bin;
+  assign bout = (~a & b) | (~axb & bin);
+endmodule
+"""
+
+
+def t_flip_flop() -> str:
+    """T flip-flop with synchronous enable and asynchronous reset."""
+    return """\
+module t_flip_flop(clk, rst, t, q, qbar);
+  input clk, rst, t;
+  output q, qbar;
+  reg q;
+  always @(posedge clk or posedge rst)
+    if (rst)
+      q <= 1'b0;
+    else if (t)
+      q <= ~q;
+  assign qbar = ~q;
+endmodule
+"""
+
+
+def d_flip_flop() -> str:
+    """D flip-flop with enable."""
+    return """\
+module d_flip_flop(clk, rst, en, d, q);
+  input clk, rst, en, d;
+  output q;
+  reg q;
+  always @(posedge clk or posedge rst)
+    if (rst)
+      q <= 1'b0;
+    else if (en)
+      q <= d;
+endmodule
+"""
+
+
+def mux4(width: int = 4) -> str:
+    """4-to-1 multiplexer with a parameterised data width."""
+    return f"""\
+module mux4(sel, in0, in1, in2, in3, out);
+  input [1:0] sel;
+  input [{width - 1}:0] in0, in1, in2, in3;
+  output reg [{width - 1}:0] out;
+  always @(*)
+    case (sel)
+      2'd0: out = in0;
+      2'd1: out = in1;
+      2'd2: out = in2;
+      default: out = in3;
+    endcase
+endmodule
+"""
+
+
+def decoder(bits: int = 3) -> str:
+    """Binary decoder with one explicit assign per output line."""
+    lines = [
+        f"module decoder{1 << bits}(en, sel, y);",
+        "  input en;",
+        f"  input [{bits - 1}:0] sel;",
+        f"  output [{(1 << bits) - 1}:0] y;",
+    ]
+    for index in range(1 << bits):
+        lines.append(f"  assign y[{index}] = en & (sel == {bits}'d{index});")
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+def priority_encoder(bits: int = 3) -> str:
+    """Priority encoder over 2**bits request lines."""
+    count = 1 << bits
+    lines = [
+        f"module priority_encoder{count}(req, grant_index, valid);",
+        f"  input [{count - 1}:0] req;",
+        f"  output reg [{bits - 1}:0] grant_index;",
+        "  output reg valid;",
+        "  always @(*) begin",
+        f"    grant_index = {bits}'d0;",
+        "    valid = 1'b0;",
+    ]
+    for index in range(count - 1, -1, -1):
+        lines.append(f"    if (req[{index}]) begin")
+        lines.append(f"      grant_index = {bits}'d{index};")
+        lines.append("      valid = 1'b1;")
+        lines.append("    end")
+    lines.append("  end")
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+def comparator(width: int = 4) -> str:
+    """Magnitude comparator."""
+    return f"""\
+module comparator{width}(a, b, eq, lt, gt);
+  input [{width - 1}:0] a, b;
+  output eq, lt, gt;
+  assign eq = (a == b);
+  assign lt = (a < b);
+  assign gt = (a > b);
+endmodule
+"""
+
+
+def parity_generator(width: int = 8) -> str:
+    """Even/odd parity generator with an explicit XOR chain."""
+    lines = [
+        f"module parity_gen{width}(data, even_parity, odd_parity);",
+        f"  input [{width - 1}:0] data;",
+        "  output even_parity, odd_parity;",
+        f"  wire [{width - 1}:0] chain;",
+        "  assign chain[0] = data[0];",
+    ]
+    for index in range(1, width):
+        lines.append(f"  assign chain[{index}] = chain[{index - 1}] ^ data[{index}];")
+    lines.append(f"  assign even_parity = chain[{width - 1}];")
+    lines.append(f"  assign odd_parity = ~chain[{width - 1}];")
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+def gray_encoder(width: int = 4) -> str:
+    """Binary-to-Gray encoder with one assign per bit."""
+    lines = [
+        f"module gray_encoder{width}(binary, gray);",
+        f"  input [{width - 1}:0] binary;",
+        f"  output [{width - 1}:0] gray;",
+        f"  assign gray[{width - 1}] = binary[{width - 1}];",
+    ]
+    for index in range(width - 2, -1, -1):
+        lines.append(f"  assign gray[{index}] = binary[{index + 1}] ^ binary[{index}];")
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+def input_register(width: int = 8) -> str:
+    """Registered input stage with enable and clear (inputReg.v analogue)."""
+    return f"""\
+module input_reg(clk, rst, load, clear, data_in, data_out, loaded);
+  input clk, rst, load, clear;
+  input [{width - 1}:0] data_in;
+  output reg [{width - 1}:0] data_out;
+  output reg loaded;
+  always @(posedge clk or posedge rst) begin
+    if (rst) begin
+      data_out <= 0;
+      loaded <= 1'b0;
+    end else if (clear) begin
+      data_out <= 0;
+      loaded <= 1'b0;
+    end else if (load) begin
+      data_out <= data_in;
+      loaded <= 1'b1;
+    end
+  end
+endmodule
+"""
+
+
+def bit_negator(width: int = 8) -> str:
+    """Registered bitwise negator (bitNegator.v analogue)."""
+    lines = [
+        "module bit_negator(clk, rst, en, data_in, data_out);",
+        "  input clk, rst, en;",
+        f"  input [{width - 1}:0] data_in;",
+        f"  output reg [{width - 1}:0] data_out;",
+        "  always @(posedge clk or posedge rst) begin",
+        "    if (rst)",
+        "      data_out <= 0;",
+        "    else if (en) begin",
+    ]
+    for index in range(width):
+        lines.append(f"      data_out[{index}] <= ~data_in[{index}];")
+    lines.append("    end")
+    lines.append("  end")
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+def clean_reset() -> str:
+    """Reset synchroniser / stretcher (clean_rst.v analogue)."""
+    return """\
+module clean_rst(clk, rst_in, rst_out);
+  input clk, rst_in;
+  output rst_out;
+  reg sync0, sync1, sync2;
+  always @(posedge clk or posedge rst_in) begin
+    if (rst_in) begin
+      sync0 <= 1'b1;
+      sync1 <= 1'b1;
+      sync2 <= 1'b1;
+    end else begin
+      sync0 <= 1'b0;
+      sync1 <= sync0;
+      sync2 <= sync1;
+    end
+  end
+  assign rst_out = sync2;
+endmodule
+"""
+
+
+def tc_reset() -> str:
+    """Terminal-count reset generator (tcReset.v analogue)."""
+    return """\
+module tc_reset(clk, rst, count_en, tc, count);
+  input clk, rst, count_en;
+  output tc;
+  output reg [3:0] count;
+  always @(posedge clk or posedge rst) begin
+    if (rst)
+      count <= 4'd0;
+    else if (count_en) begin
+      if (count == 4'd11)
+        count <= 4'd0;
+      else
+        count <= count + 4'd1;
+    end
+  end
+  assign tc = (count == 4'd11);
+endmodule
+"""

@@ -1,0 +1,503 @@
+"""Finite-state-machine designs: controllers, protocol engines, detectors.
+
+These cover the "state machines", "communication controllers", and
+"flow control hardware" categories of the paper's test set.
+"""
+
+from __future__ import annotations
+
+
+def sequence_detector(pattern: str = "1011") -> str:
+    """Overlapping sequence detector for a fixed bit pattern."""
+    states = len(pattern)
+    import math
+
+    state_bits = max(1, math.ceil(math.log2(states + 1)))
+    lines = [
+        f"module seq_detect_{pattern}(clk, rst, bit_in, detected, state);",
+        "  input clk, rst, bit_in;",
+        "  output detected;",
+        f"  output reg [{state_bits - 1}:0] state;",
+        "  always @(posedge clk or posedge rst) begin",
+        "    if (rst)",
+        "      state <= 0;",
+        "    else begin",
+        "      case (state)",
+    ]
+    for index in range(states):
+        expected = pattern[index]
+        # Overlap handling: on a mismatch fall back to the longest prefix that
+        # is also a suffix of what has been seen.
+        matched_prefix = pattern[:index] + ("1" if expected == "0" else "0")
+        fallback = 0
+        for length in range(min(len(matched_prefix), states - 1), 0, -1):
+            if matched_prefix.endswith(pattern[:length]):
+                fallback = length
+                break
+        next_state = index + 1
+        lines.append(f"        {state_bits}'d{index}:")
+        lines.append(f"          if (bit_in == 1'b{expected})")
+        lines.append(f"            state <= {state_bits}'d{next_state};")
+        lines.append("          else")
+        lines.append(f"            state <= {state_bits}'d{fallback};")
+    final_fallback = 0
+    for length in range(states - 1, 0, -1):
+        if pattern.endswith(pattern[:length]):
+            final_fallback = length
+            break
+    lines.append(f"        {state_bits}'d{states}:")
+    lines.append(f"          if (bit_in == 1'b{pattern[-1]})")
+    lines.append(f"            state <= {state_bits}'d{states};")
+    lines.append("          else")
+    lines.append(f"            state <= {state_bits}'d{final_fallback};")
+    lines.append(f"        default: state <= 0;")
+    lines.append("      endcase")
+    lines.append("    end")
+    lines.append("  end")
+    lines.append(f"  assign detected = (state == {state_bits}'d{states});")
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+def traffic_light() -> str:
+    """Two-way traffic light controller with pedestrian request."""
+    return """\
+module traffic_light(clk, rst, ped_request, ns_green, ns_yellow, ns_red, ew_green, ew_yellow, ew_red, walk);
+  input clk, rst, ped_request;
+  output ns_green, ns_yellow, ns_red;
+  output ew_green, ew_yellow, ew_red;
+  output walk;
+  reg [2:0] state;
+  reg [3:0] timer;
+  always @(posedge clk or posedge rst) begin
+    if (rst) begin
+      state <= 3'd0;
+      timer <= 0;
+    end else begin
+      case (state)
+        3'd0: begin
+          if (timer == 4'd7) begin
+            state <= 3'd1;
+            timer <= 0;
+          end else
+            timer <= timer + 1;
+        end
+        3'd1: begin
+          if (timer == 4'd2) begin
+            state <= 3'd2;
+            timer <= 0;
+          end else
+            timer <= timer + 1;
+        end
+        3'd2: begin
+          if (timer == 4'd7) begin
+            state <= 3'd3;
+            timer <= 0;
+          end else
+            timer <= timer + 1;
+        end
+        3'd3: begin
+          if (timer == 4'd2) begin
+            if (ped_request)
+              state <= 3'd4;
+            else
+              state <= 3'd0;
+            timer <= 0;
+          end else
+            timer <= timer + 1;
+        end
+        3'd4: begin
+          if (timer == 4'd5) begin
+            state <= 3'd0;
+            timer <= 0;
+          end else
+            timer <= timer + 1;
+        end
+        default: begin
+          state <= 3'd0;
+          timer <= 0;
+        end
+      endcase
+    end
+  end
+  assign ns_green = (state == 3'd0);
+  assign ns_yellow = (state == 3'd1);
+  assign ns_red = (state == 3'd2) | (state == 3'd3) | (state == 3'd4);
+  assign ew_green = (state == 3'd2);
+  assign ew_yellow = (state == 3'd3);
+  assign ew_red = (state == 3'd0) | (state == 3'd1) | (state == 3'd4);
+  assign walk = (state == 3'd4);
+endmodule
+"""
+
+
+def vending_machine() -> str:
+    """Vending machine accepting nickels/dimes, vending at 20 cents."""
+    return """\
+module vending_machine(clk, rst, nickel, dime, vend, change, credit);
+  input clk, rst, nickel, dime;
+  output vend, change;
+  output reg [2:0] credit;
+  always @(posedge clk or posedge rst) begin
+    if (rst)
+      credit <= 3'd0;
+    else begin
+      if (credit >= 3'd4)
+        credit <= 3'd0;
+      else if (nickel && !dime)
+        credit <= credit + 3'd1;
+      else if (dime && !nickel) begin
+        if (credit >= 3'd3)
+          credit <= 3'd4;
+        else
+          credit <= credit + 3'd2;
+      end
+    end
+  end
+  assign vend = (credit >= 3'd4);
+  assign change = (credit > 3'd4);
+endmodule
+"""
+
+
+def handshake_controller() -> str:
+    """Four-phase request/acknowledge handshake controller."""
+    return """\
+module handshake_ctrl(clk, rst, start, peer_ack, req, busy, done);
+  input clk, rst, start, peer_ack;
+  output reg req;
+  output busy, done;
+  reg [1:0] state;
+  always @(posedge clk or posedge rst) begin
+    if (rst) begin
+      state <= 2'd0;
+      req <= 1'b0;
+    end else begin
+      case (state)
+        2'd0: begin
+          if (start) begin
+            req <= 1'b1;
+            state <= 2'd1;
+          end
+        end
+        2'd1: begin
+          if (peer_ack) begin
+            req <= 1'b0;
+            state <= 2'd2;
+          end
+        end
+        2'd2: begin
+          if (!peer_ack)
+            state <= 2'd3;
+        end
+        default: begin
+          state <= 2'd0;
+        end
+      endcase
+    end
+  end
+  assign busy = (state != 2'd0);
+  assign done = (state == 2'd3);
+endmodule
+"""
+
+
+def uart_tx(data_bits: int = 8) -> str:
+    """UART transmitter FSM: start bit, data bits, stop bit."""
+    import math
+
+    count_bits = max(1, math.ceil(math.log2(data_bits + 1)))
+    return f"""\
+module uart_tx(clk, rst, send, data, tx, busy, done);
+  input clk, rst, send;
+  input [{data_bits - 1}:0] data;
+  output reg tx;
+  output busy, done;
+  reg [1:0] state;
+  reg [{count_bits - 1}:0] bit_index;
+  reg [{data_bits - 1}:0] shift;
+  always @(posedge clk or posedge rst) begin
+    if (rst) begin
+      state <= 2'd0;
+      tx <= 1'b1;
+      bit_index <= 0;
+      shift <= 0;
+    end else begin
+      case (state)
+        2'd0: begin
+          tx <= 1'b1;
+          if (send) begin
+            shift <= data;
+            bit_index <= 0;
+            state <= 2'd1;
+          end
+        end
+        2'd1: begin
+          tx <= 1'b0;
+          state <= 2'd2;
+        end
+        2'd2: begin
+          tx <= shift[0];
+          shift <= shift >> 1;
+          if (bit_index == {count_bits}'d{data_bits - 1})
+            state <= 2'd3;
+          else
+            bit_index <= bit_index + 1;
+        end
+        default: begin
+          tx <= 1'b1;
+          state <= 2'd0;
+        end
+      endcase
+    end
+  end
+  assign busy = (state != 2'd0);
+  assign done = (state == 2'd3);
+endmodule
+"""
+
+
+def rx_state_machine(data_bits: int = 8) -> str:
+    """Serial receiver state machine (rxStateMachine.v analogue)."""
+    import math
+
+    count_bits = max(1, math.ceil(math.log2(data_bits + 1)))
+    return f"""\
+module rx_state_machine(clk, rst, rx, data_out, data_valid, framing_error);
+  input clk, rst, rx;
+  output reg [{data_bits - 1}:0] data_out;
+  output reg data_valid;
+  output reg framing_error;
+  reg [1:0] state;
+  reg [{count_bits - 1}:0] bit_index;
+  reg [{data_bits - 1}:0] shift;
+  always @(posedge clk or posedge rst) begin
+    if (rst) begin
+      state <= 2'd0;
+      bit_index <= 0;
+      shift <= 0;
+      data_out <= 0;
+      data_valid <= 1'b0;
+      framing_error <= 1'b0;
+    end else begin
+      data_valid <= 1'b0;
+      case (state)
+        2'd0: begin
+          framing_error <= 1'b0;
+          if (!rx) begin
+            state <= 2'd1;
+            bit_index <= 0;
+          end
+        end
+        2'd1: begin
+          shift <= {{rx, shift[{data_bits - 1}:1]}};
+          if (bit_index == {count_bits}'d{data_bits - 1})
+            state <= 2'd2;
+          else
+            bit_index <= bit_index + 1;
+        end
+        2'd2: begin
+          if (rx) begin
+            data_out <= shift;
+            data_valid <= 1'b1;
+          end else begin
+            framing_error <= 1'b1;
+          end
+          state <= 2'd0;
+        end
+        default: state <= 2'd0;
+      endcase
+    end
+  end
+endmodule
+"""
+
+
+def memory_controller_fsm() -> str:
+    """Simple SRAM controller FSM with read/write/refresh phases."""
+    return """\
+module mem_ctrl_fsm(clk, rst, read_req, write_req, refresh_req, ack, cs_n, we_n, oe_n, state);
+  input clk, rst, read_req, write_req, refresh_req;
+  output reg ack;
+  output cs_n, we_n, oe_n;
+  output reg [2:0] state;
+  reg [1:0] wait_count;
+  always @(posedge clk or posedge rst) begin
+    if (rst) begin
+      state <= 3'd0;
+      ack <= 1'b0;
+      wait_count <= 0;
+    end else begin
+      ack <= 1'b0;
+      case (state)
+        3'd0: begin
+          if (refresh_req)
+            state <= 3'd4;
+          else if (write_req)
+            state <= 3'd1;
+          else if (read_req)
+            state <= 3'd2;
+        end
+        3'd1: begin
+          if (wait_count == 2'd2) begin
+            wait_count <= 0;
+            ack <= 1'b1;
+            state <= 3'd3;
+          end else
+            wait_count <= wait_count + 1;
+        end
+        3'd2: begin
+          if (wait_count == 2'd1) begin
+            wait_count <= 0;
+            ack <= 1'b1;
+            state <= 3'd3;
+          end else
+            wait_count <= wait_count + 1;
+        end
+        3'd3: begin
+          if (!read_req && !write_req)
+            state <= 3'd0;
+        end
+        3'd4: begin
+          if (wait_count == 2'd3) begin
+            wait_count <= 0;
+            state <= 3'd0;
+          end else
+            wait_count <= wait_count + 1;
+        end
+        default: state <= 3'd0;
+      endcase
+    end
+  end
+  assign cs_n = (state == 3'd0);
+  assign we_n = ~(state == 3'd1);
+  assign oe_n = ~(state == 3'd2);
+endmodule
+"""
+
+
+def elevator_controller(floors: int = 4) -> str:
+    """Elevator controller serving a fixed number of floors."""
+    import math
+
+    floor_bits = max(1, math.ceil(math.log2(floors)))
+    lines = [
+        f"module elevator{floors}(clk, rst, request, current_floor, moving_up, moving_down, door_open);",
+        "  input clk, rst;",
+        f"  input [{floors - 1}:0] request;",
+        f"  output reg [{floor_bits - 1}:0] current_floor;",
+        "  output reg moving_up, moving_down, door_open;",
+        f"  reg [{floor_bits - 1}:0] target;",
+        "  reg pending;",
+        "  always @(posedge clk or posedge rst) begin",
+        "    if (rst) begin",
+        "      current_floor <= 0;",
+        "      target <= 0;",
+        "      pending <= 1'b0;",
+        "      moving_up <= 1'b0;",
+        "      moving_down <= 1'b0;",
+        "      door_open <= 1'b1;",
+        "    end else begin",
+        "      if (!pending) begin",
+    ]
+    for floor in range(floors - 1, -1, -1):
+        lines.append(f"        if (request[{floor}]) begin")
+        lines.append(f"          target <= {floor_bits}'d{floor};")
+        lines.append("          pending <= 1'b1;")
+        lines.append("        end")
+    lines.append("        moving_up <= 1'b0;")
+    lines.append("        moving_down <= 1'b0;")
+    lines.append("        door_open <= 1'b1;")
+    lines.append("      end else begin")
+    lines.append("        door_open <= 1'b0;")
+    lines.append("        if (current_floor < target) begin")
+    lines.append("          current_floor <= current_floor + 1;")
+    lines.append("          moving_up <= 1'b1;")
+    lines.append("          moving_down <= 1'b0;")
+    lines.append("        end else if (current_floor > target) begin")
+    lines.append("          current_floor <= current_floor - 1;")
+    lines.append("          moving_up <= 1'b0;")
+    lines.append("          moving_down <= 1'b1;")
+    lines.append("        end else begin")
+    lines.append("          pending <= 1'b0;")
+    lines.append("          moving_up <= 1'b0;")
+    lines.append("          moving_down <= 1'b0;")
+    lines.append("          door_open <= 1'b1;")
+    lines.append("        end")
+    lines.append("      end")
+    lines.append("    end")
+    lines.append("  end")
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+def flow_control(credit_width: int = 4) -> str:
+    """Credit-based flow controller (flow_ctrl.v analogue)."""
+    max_credit = (1 << credit_width) - 1
+    return f"""\
+module flow_ctrl(clk, rst, send_req, credit_return, tx_valid, credits, stalled);
+  input clk, rst, send_req, credit_return;
+  output tx_valid;
+  output reg [{credit_width - 1}:0] credits;
+  output stalled;
+  always @(posedge clk or posedge rst) begin
+    if (rst)
+      credits <= {credit_width}'d{max_credit};
+    else begin
+      if (send_req && credits != 0 && !credit_return)
+        credits <= credits - 1;
+      else if (credit_return && !(send_req && credits != 0)) begin
+        if (credits != {credit_width}'d{max_credit})
+          credits <= credits + 1;
+      end
+    end
+  end
+  assign tx_valid = send_req && (credits != 0);
+  assign stalled = send_req && (credits == 0);
+endmodule
+"""
+
+
+def crc_control_unit() -> str:
+    """Control unit sequencing a CRC datapath (crc_control_unit.v analogue)."""
+    return """\
+module crc_control_unit(clk, rst, start, data_last, crc_enable, shift_enable, output_enable, done, state);
+  input clk, rst, start, data_last;
+  output crc_enable, shift_enable, output_enable;
+  output done;
+  output reg [1:0] state;
+  reg [2:0] shift_count;
+  always @(posedge clk or posedge rst) begin
+    if (rst) begin
+      state <= 2'd0;
+      shift_count <= 0;
+    end else begin
+      case (state)
+        2'd0: begin
+          shift_count <= 0;
+          if (start)
+            state <= 2'd1;
+        end
+        2'd1: begin
+          if (data_last)
+            state <= 2'd2;
+        end
+        2'd2: begin
+          if (shift_count == 3'd7)
+            state <= 2'd3;
+          else
+            shift_count <= shift_count + 1;
+        end
+        default: begin
+          if (!start)
+            state <= 2'd0;
+        end
+      endcase
+    end
+  end
+  assign crc_enable = (state == 2'd1);
+  assign shift_enable = (state == 2'd2);
+  assign output_enable = (state == 2'd3);
+  assign done = (state == 2'd3);
+endmodule
+"""

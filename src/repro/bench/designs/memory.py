@@ -1,0 +1,327 @@
+"""Storage and interconnect designs: FIFOs, register files, arbiters, routers.
+
+Includes an analogue of the paper's Figure 5 test program (``fifo_mem``) and
+of the NoC-style ``node.v`` router in the test set.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def fifo_mem(depth: int = 4, width: int = 4) -> str:
+    """Synchronous FIFO with explicit storage slots (fifo_mem analogue)."""
+    ptr_bits = max(1, math.ceil(math.log2(depth)))
+    lines = [
+        "module fifo_mem(clk, rst, w_en, r_en, data_in, data_out, full, empty, count);",
+        "  input clk, rst, w_en, r_en;",
+        f"  input [{width - 1}:0] data_in;",
+        f"  output reg [{width - 1}:0] data_out;",
+        "  output full, empty;",
+        f"  output reg [{ptr_bits}:0] count;",
+        f"  reg [{ptr_bits - 1}:0] wptr;",
+        f"  reg [{ptr_bits - 1}:0] rptr;",
+    ]
+    for slot in range(depth):
+        lines.append(f"  reg [{width - 1}:0] mem{slot};")
+    lines.append("  wire do_write, do_read;")
+    lines.append("  assign do_write = w_en && !full;")
+    lines.append("  assign do_read = r_en && !empty;")
+    lines.append("  always @(posedge clk or posedge rst) begin")
+    lines.append("    if (rst) begin")
+    lines.append("      wptr <= 0;")
+    lines.append("      rptr <= 0;")
+    lines.append("      count <= 0;")
+    lines.append("      data_out <= 0;")
+    for slot in range(depth):
+        lines.append(f"      mem{slot} <= 0;")
+    lines.append("    end else begin")
+    lines.append("      if (do_write) begin")
+    lines.append("        case (wptr)")
+    for slot in range(depth):
+        lines.append(f"          {ptr_bits}'d{slot}: mem{slot} <= data_in;")
+    lines.append("        endcase")
+    lines.append(f"        wptr <= wptr + 1;")
+    lines.append("      end")
+    lines.append("      if (do_read) begin")
+    lines.append("        case (rptr)")
+    for slot in range(depth):
+        lines.append(f"          {ptr_bits}'d{slot}: data_out <= mem{slot};")
+    lines.append("        endcase")
+    lines.append(f"        rptr <= rptr + 1;")
+    lines.append("      end")
+    lines.append("      if (do_write && !do_read)")
+    lines.append("        count <= count + 1;")
+    lines.append("      else if (do_read && !do_write)")
+    lines.append("        count <= count - 1;")
+    lines.append("    end")
+    lines.append("  end")
+    lines.append(f"  assign full = (count == {ptr_bits + 1}'d{depth});")
+    lines.append("  assign empty = (count == 0);")
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+def eth_fifo(depth: int = 4, width: int = 8) -> str:
+    """FIFO with almost-full/almost-empty status flags (eth_fifo analogue)."""
+    ptr_bits = max(1, math.ceil(math.log2(depth)))
+    lines = [
+        "module eth_fifo(clk, rst, write, read, data_in, data_out, full, almost_full, empty, almost_empty, count);",
+        "  input clk, rst, write, read;",
+        f"  input [{width - 1}:0] data_in;",
+        f"  output reg [{width - 1}:0] data_out;",
+        "  output full, almost_full, empty, almost_empty;",
+        f"  output reg [{ptr_bits}:0] count;",
+        f"  reg [{ptr_bits - 1}:0] wptr, rptr;",
+    ]
+    for slot in range(depth):
+        lines.append(f"  reg [{width - 1}:0] slot{slot};")
+    lines.append("  wire do_write, do_read;")
+    lines.append("  assign do_write = write && !full;")
+    lines.append("  assign do_read = read && !empty;")
+    lines.append("  always @(posedge clk or posedge rst) begin")
+    lines.append("    if (rst) begin")
+    lines.append("      wptr <= 0;")
+    lines.append("      rptr <= 0;")
+    lines.append("      count <= 0;")
+    lines.append("      data_out <= 0;")
+    for slot in range(depth):
+        lines.append(f"      slot{slot} <= 0;")
+    lines.append("    end else begin")
+    lines.append("      if (do_write) begin")
+    lines.append("        case (wptr)")
+    for slot in range(depth):
+        lines.append(f"          {ptr_bits}'d{slot}: slot{slot} <= data_in;")
+    lines.append("        endcase")
+    lines.append("        wptr <= wptr + 1;")
+    lines.append("      end")
+    lines.append("      if (do_read) begin")
+    lines.append("        case (rptr)")
+    for slot in range(depth):
+        lines.append(f"          {ptr_bits}'d{slot}: data_out <= slot{slot};")
+    lines.append("        endcase")
+    lines.append("        rptr <= rptr + 1;")
+    lines.append("      end")
+    lines.append("      if (do_write && !do_read)")
+    lines.append("        count <= count + 1;")
+    lines.append("      else if (do_read && !do_write)")
+    lines.append("        count <= count - 1;")
+    lines.append("    end")
+    lines.append("  end")
+    lines.append(f"  assign full = (count == {ptr_bits + 1}'d{depth});")
+    lines.append(f"  assign almost_full = (count >= {ptr_bits + 1}'d{depth - 1});")
+    lines.append("  assign empty = (count == 0);")
+    lines.append(f"  assign almost_empty = (count <= {ptr_bits + 1}'d1);")
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+def stack(depth: int = 4, width: int = 4) -> str:
+    """LIFO stack with push/pop and overflow/underflow flags."""
+    ptr_bits = max(1, math.ceil(math.log2(depth + 1)))
+    lines = [
+        "module stack_lifo(clk, rst, push, pop, data_in, data_out, full, empty, overflow, underflow);",
+        "  input clk, rst, push, pop;",
+        f"  input [{width - 1}:0] data_in;",
+        f"  output reg [{width - 1}:0] data_out;",
+        "  output full, empty;",
+        "  output reg overflow, underflow;",
+        f"  reg [{ptr_bits - 1}:0] sp;",
+    ]
+    for slot in range(depth):
+        lines.append(f"  reg [{width - 1}:0] cell{slot};")
+    lines.append("  always @(posedge clk or posedge rst) begin")
+    lines.append("    if (rst) begin")
+    lines.append("      sp <= 0;")
+    lines.append("      data_out <= 0;")
+    lines.append("      overflow <= 1'b0;")
+    lines.append("      underflow <= 1'b0;")
+    for slot in range(depth):
+        lines.append(f"      cell{slot} <= 0;")
+    lines.append("    end else begin")
+    lines.append("      overflow <= 1'b0;")
+    lines.append("      underflow <= 1'b0;")
+    lines.append("      if (push && !pop) begin")
+    lines.append(f"        if (sp == {ptr_bits}'d{depth})")
+    lines.append("          overflow <= 1'b1;")
+    lines.append("        else begin")
+    lines.append("          case (sp)")
+    for slot in range(depth):
+        lines.append(f"            {ptr_bits}'d{slot}: cell{slot} <= data_in;")
+    lines.append("          endcase")
+    lines.append("          sp <= sp + 1;")
+    lines.append("        end")
+    lines.append("      end else if (pop && !push) begin")
+    lines.append("        if (sp == 0)")
+    lines.append("          underflow <= 1'b1;")
+    lines.append("        else begin")
+    lines.append("          case (sp - 1)")
+    for slot in range(depth):
+        lines.append(f"            {ptr_bits}'d{slot}: data_out <= cell{slot};")
+    lines.append("          endcase")
+    lines.append("          sp <= sp - 1;")
+    lines.append("        end")
+    lines.append("      end")
+    lines.append("    end")
+    lines.append("  end")
+    lines.append(f"  assign full = (sp == {ptr_bits}'d{depth});")
+    lines.append("  assign empty = (sp == 0);")
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+def register_file(registers: int = 4, width: int = 4) -> str:
+    """Register file with one write port and two read ports."""
+    addr_bits = max(1, math.ceil(math.log2(registers)))
+    lines = [
+        "module register_file(clk, rst, write_en, write_addr, write_data, read_addr_a, read_addr_b, read_data_a, read_data_b);",
+        "  input clk, rst, write_en;",
+        f"  input [{addr_bits - 1}:0] write_addr, read_addr_a, read_addr_b;",
+        f"  input [{width - 1}:0] write_data;",
+        f"  output reg [{width - 1}:0] read_data_a, read_data_b;",
+    ]
+    for index in range(registers):
+        lines.append(f"  reg [{width - 1}:0] r{index};")
+    lines.append("  always @(posedge clk or posedge rst) begin")
+    lines.append("    if (rst) begin")
+    for index in range(registers):
+        lines.append(f"      r{index} <= 0;")
+    lines.append("    end else if (write_en) begin")
+    lines.append("      case (write_addr)")
+    for index in range(registers):
+        lines.append(f"        {addr_bits}'d{index}: r{index} <= write_data;")
+    lines.append("      endcase")
+    lines.append("    end")
+    lines.append("  end")
+    lines.append("  always @(*) begin")
+    lines.append("    case (read_addr_a)")
+    for index in range(registers):
+        lines.append(f"      {addr_bits}'d{index}: read_data_a = r{index};")
+    lines.append(f"      default: read_data_a = 0;")
+    lines.append("    endcase")
+    lines.append("    case (read_addr_b)")
+    for index in range(registers):
+        lines.append(f"      {addr_bits}'d{index}: read_data_b = r{index};")
+    lines.append(f"      default: read_data_b = 0;")
+    lines.append("    endcase")
+    lines.append("  end")
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+def round_robin_arbiter(ports: int = 4) -> str:
+    """Round-robin arbiter with a rotating priority pointer."""
+    bits = max(1, math.ceil(math.log2(ports)))
+    lines = [
+        f"module rr_arbiter{ports}(clk, rst, request, grant, grant_valid, pointer);",
+        "  input clk, rst;",
+        f"  input [{ports - 1}:0] request;",
+        f"  output reg [{ports - 1}:0] grant;",
+        "  output grant_valid;",
+        f"  output reg [{bits - 1}:0] pointer;",
+        f"  reg [{ports - 1}:0] grant_next;",
+        f"  reg [{bits - 1}:0] winner;",
+        "  reg found;",
+        "  always @(*) begin",
+        "    grant_next = 0;",
+        "    winner = 0;",
+        "    found = 1'b0;",
+    ]
+    # Two sweeps implement the rotating priority: indices >= pointer first.
+    for sweep in ("first", "second"):
+        for port in range(ports):
+            condition = (
+                f"!found && request[{port}] && ({port} >= pointer)"
+                if sweep == "first"
+                else f"!found && request[{port}]"
+            )
+            lines.append(f"    if ({condition}) begin")
+            lines.append(f"      grant_next[{port}] = 1'b1;")
+            lines.append(f"      winner = {port};")
+            lines.append("      found = 1'b1;")
+            lines.append("    end")
+    lines.append("  end")
+    lines.append("  always @(posedge clk or posedge rst) begin")
+    lines.append("    if (rst) begin")
+    lines.append("      grant <= 0;")
+    lines.append("      pointer <= 0;")
+    lines.append("    end else begin")
+    lines.append("      grant <= grant_next;")
+    lines.append("      if (found) begin")
+    lines.append(f"        if (winner == {bits}'d{ports - 1})")
+    lines.append("          pointer <= 0;")
+    lines.append("        else")
+    lines.append("          pointer <= winner + 1;")
+    lines.append("      end")
+    lines.append("    end")
+    lines.append("  end")
+    lines.append("  assign grant_valid = |grant;")
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+def noc_node(width: int = 4) -> str:
+    """2D-mesh router node with X-then-Y dimension-ordered routing (node.v analogue)."""
+    return f"""\
+module node(clk, rst, in_valid, dest_x, dest_y, local_x, local_y, out_north, out_south, out_east, out_west, out_local, routed);
+  input clk, rst, in_valid;
+  input [{width - 1}:0] dest_x, dest_y, local_x, local_y;
+  output reg out_north, out_south, out_east, out_west, out_local;
+  output reg routed;
+  always @(posedge clk or posedge rst) begin
+    if (rst) begin
+      out_north <= 1'b0;
+      out_south <= 1'b0;
+      out_east <= 1'b0;
+      out_west <= 1'b0;
+      out_local <= 1'b0;
+      routed <= 1'b0;
+    end else begin
+      out_north <= 1'b0;
+      out_south <= 1'b0;
+      out_east <= 1'b0;
+      out_west <= 1'b0;
+      out_local <= 1'b0;
+      routed <= 1'b0;
+      if (in_valid) begin
+        routed <= 1'b1;
+        if (dest_x > local_x)
+          out_east <= 1'b1;
+        else if (dest_x < local_x)
+          out_west <= 1'b1;
+        else if (dest_y > local_y)
+          out_north <= 1'b1;
+        else if (dest_y < local_y)
+          out_south <= 1'b1;
+        else
+          out_local <= 1'b1;
+      end
+    end
+  end
+endmodule
+"""
+
+
+def synchronizer(stages: int = 2, width: int = 1) -> str:
+    """Multi-stage clock-domain-crossing synchroniser."""
+    lines = [
+        f"module sync{stages}(clk, rst, async_in, sync_out);",
+        "  input clk, rst;",
+        f"  input [{width - 1}:0] async_in;",
+        f"  output [{width - 1}:0] sync_out;",
+    ]
+    for stage in range(stages):
+        lines.append(f"  reg [{width - 1}:0] stage{stage};")
+    lines.append("  always @(posedge clk or posedge rst) begin")
+    lines.append("    if (rst) begin")
+    for stage in range(stages):
+        lines.append(f"      stage{stage} <= 0;")
+    lines.append("    end else begin")
+    lines.append("      stage0 <= async_in;")
+    for stage in range(1, stages):
+        lines.append(f"      stage{stage} <= stage{stage - 1};")
+    lines.append("    end")
+    lines.append("  end")
+    lines.append(f"  assign sync_out = stage{stages - 1};")
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"

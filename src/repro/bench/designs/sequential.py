@@ -1,0 +1,377 @@
+"""Sequential building blocks: counters, shift registers, LFSRs, timers.
+
+These cover the "random number generators for security hardware", counters,
+and flow-control style designs the paper's test set draws from OpenCores.
+"""
+
+from __future__ import annotations
+
+_LFSR_TAPS = {
+    3: (3, 2),
+    4: (4, 3),
+    5: (5, 3),
+    6: (6, 5),
+    7: (7, 6),
+    8: (8, 6, 5, 4),
+    9: (9, 5),
+    10: (10, 7),
+    12: (12, 11, 10, 4),
+    16: (16, 15, 13, 4),
+}
+
+
+def up_counter(width: int = 4) -> str:
+    """Up counter with enable and synchronous clear."""
+    return f"""\
+module counter{width}(clk, rst, en, clear, count, overflow);
+  input clk, rst, en, clear;
+  output reg [{width - 1}:0] count;
+  output overflow;
+  always @(posedge clk or posedge rst) begin
+    if (rst)
+      count <= 0;
+    else if (clear)
+      count <= 0;
+    else if (en)
+      count <= count + 1;
+  end
+  assign overflow = (count == {{{width}{{1'b1}}}}) & en;
+endmodule
+"""
+
+
+def up_down_counter(width: int = 4) -> str:
+    """Up/down counter with load."""
+    return f"""\
+module updown_counter{width}(clk, rst, load, up, down, load_value, count);
+  input clk, rst, load, up, down;
+  input [{width - 1}:0] load_value;
+  output reg [{width - 1}:0] count;
+  always @(posedge clk or posedge rst) begin
+    if (rst)
+      count <= 0;
+    else if (load)
+      count <= load_value;
+    else if (up && !down)
+      count <= count + 1;
+    else if (down && !up)
+      count <= count - 1;
+  end
+endmodule
+"""
+
+
+def mod_counter(modulus: int = 10, width: int = 4) -> str:
+    """Modulo-N counter with terminal count output."""
+    return f"""\
+module mod{modulus}_counter(clk, rst, en, count, tc);
+  input clk, rst, en;
+  output reg [{width - 1}:0] count;
+  output tc;
+  always @(posedge clk or posedge rst) begin
+    if (rst)
+      count <= 0;
+    else if (en) begin
+      if (count == {width}'d{modulus - 1})
+        count <= 0;
+      else
+        count <= count + 1;
+    end
+  end
+  assign tc = (count == {width}'d{modulus - 1});
+endmodule
+"""
+
+
+def gray_counter(width: int = 4) -> str:
+    """Gray-code counter: binary counter plus registered gray output."""
+    lines = [
+        f"module gray_counter{width}(clk, rst, en, gray, binary);",
+        "  input clk, rst, en;",
+        f"  output reg [{width - 1}:0] gray;",
+        f"  output reg [{width - 1}:0] binary;",
+        "  always @(posedge clk or posedge rst) begin",
+        "    if (rst) begin",
+        "      binary <= 0;",
+        "      gray <= 0;",
+        "    end else if (en) begin",
+        "      binary <= binary + 1;",
+        f"      gray[{width - 1}] <= binary[{width - 1}];" if width == 1 else
+        f"      gray[{width - 1}] <= binary[{width - 1}];",
+    ]
+    for index in range(width - 2, -1, -1):
+        lines.append(f"      gray[{index}] <= binary[{index + 1}] ^ binary[{index}];")
+    lines.append("    end")
+    lines.append("  end")
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+def shift_register(depth: int = 8) -> str:
+    """Serial-in serial-out shift register with explicit stages."""
+    lines = [
+        f"module shift_reg{depth}(clk, rst, shift_en, serial_in, serial_out, parallel_out);",
+        "  input clk, rst, shift_en, serial_in;",
+        "  output serial_out;",
+        f"  output [{depth - 1}:0] parallel_out;",
+        f"  reg [{depth - 1}:0] stages;",
+        "  always @(posedge clk or posedge rst) begin",
+        "    if (rst)",
+        "      stages <= 0;",
+        "    else if (shift_en) begin",
+        "      stages[0] <= serial_in;",
+    ]
+    for index in range(1, depth):
+        lines.append(f"      stages[{index}] <= stages[{index - 1}];")
+    lines.append("    end")
+    lines.append("  end")
+    lines.append(f"  assign serial_out = stages[{depth - 1}];")
+    lines.append("  assign parallel_out = stages;")
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+def lfsr(width: int = 8) -> str:
+    """Fibonacci LFSR pseudo-random number generator."""
+    taps = _LFSR_TAPS.get(width, (width, width - 1))
+    feedback = " ^ ".join(f"state[{tap - 1}]" for tap in taps)
+    lines = [
+        f"module lfsr{width}(clk, rst, en, random_out, random_bit);",
+        "  input clk, rst, en;",
+        f"  output [{width - 1}:0] random_out;",
+        "  output random_bit;",
+        f"  reg [{width - 1}:0] state;",
+        "  wire feedback;",
+        f"  assign feedback = {feedback};",
+        "  always @(posedge clk or posedge rst) begin",
+        "    if (rst)",
+        f"      state <= {width}'d1;",
+        "    else if (en) begin",
+        "      state[0] <= feedback;",
+    ]
+    for index in range(1, width):
+        lines.append(f"      state[{index}] <= state[{index - 1}];")
+    lines.append("    end")
+    lines.append("  end")
+    lines.append("  assign random_out = state;")
+    lines.append("  assign random_bit = state[0];")
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+def prng_bank(banks: int = 4, width: int = 8) -> str:
+    """A bank of LFSRs combined into a wide pattern generator (ca_prng analogue).
+
+    Each bank has its own explicit per-bit shift logic, so large configurations
+    reach the ~1000-line scale of the paper's largest test design.
+    """
+    lines = [
+        f"module ca_prng_x{banks}(clk, rst, en, load, seed, pattern, pattern_valid);",
+        "  input clk, rst, en, load;",
+        f"  input [{width - 1}:0] seed;",
+        f"  output [{banks * width - 1}:0] pattern;",
+        "  output reg pattern_valid;",
+    ]
+    for bank in range(banks):
+        lines.append(f"  reg [{width - 1}:0] bank{bank};")
+        taps = _LFSR_TAPS.get(width, (width, width - 1))
+        feedback = " ^ ".join(f"bank{bank}[{tap - 1}]" for tap in taps)
+        extra = f" ^ bank{bank}[{bank % width}]" if bank else ""
+        lines.append(f"  wire fb{bank};")
+        lines.append(f"  assign fb{bank} = {feedback}{extra};")
+    lines.append("  always @(posedge clk or posedge rst) begin")
+    lines.append("    if (rst) begin")
+    for bank in range(banks):
+        lines.append(f"      bank{bank} <= {width}'d{bank + 1};")
+    lines.append("      pattern_valid <= 1'b0;")
+    lines.append("    end else if (load) begin")
+    for bank in range(banks):
+        lines.append(f"      bank{bank} <= seed + {width}'d{bank};")
+    lines.append("      pattern_valid <= 1'b0;")
+    lines.append("    end else if (en) begin")
+    for bank in range(banks):
+        lines.append(f"      bank{bank}[0] <= fb{bank};")
+        for index in range(1, width):
+            lines.append(f"      bank{bank}[{index}] <= bank{bank}[{index - 1}];")
+    lines.append("      pattern_valid <= 1'b1;")
+    lines.append("    end else begin")
+    lines.append("      pattern_valid <= 1'b0;")
+    lines.append("    end")
+    lines.append("  end")
+    for bank in range(banks):
+        low = bank * width
+        lines.append(f"  assign pattern[{low + width - 1}:{low}] = bank{bank};")
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+def clock_divider(ratio_bits: int = 3) -> str:
+    """Programmable clock divider (eth_clockgen analogue)."""
+    return f"""\
+module eth_clockgen(clk, rst, divider, enable, clk_en, clk_out);
+  input clk, rst, enable;
+  input [{ratio_bits - 1}:0] divider;
+  output reg clk_en;
+  output reg clk_out;
+  reg [{ratio_bits - 1}:0] count;
+  always @(posedge clk or posedge rst) begin
+    if (rst) begin
+      count <= 0;
+      clk_en <= 1'b0;
+      clk_out <= 1'b0;
+    end else if (enable) begin
+      if (count >= divider) begin
+        count <= 0;
+        clk_en <= 1'b1;
+        clk_out <= ~clk_out;
+      end else begin
+        count <= count + 1;
+        clk_en <= 1'b0;
+      end
+    end else begin
+      clk_en <= 1'b0;
+    end
+  end
+endmodule
+"""
+
+
+def pwm_generator(width: int = 4) -> str:
+    """Pulse-width modulator with programmable duty cycle."""
+    return f"""\
+module pwm{width}(clk, rst, en, duty, pwm_out, period_start);
+  input clk, rst, en;
+  input [{width - 1}:0] duty;
+  output pwm_out;
+  output period_start;
+  reg [{width - 1}:0] count;
+  always @(posedge clk or posedge rst) begin
+    if (rst)
+      count <= 0;
+    else if (en)
+      count <= count + 1;
+  end
+  assign pwm_out = en & (count < duty);
+  assign period_start = (count == 0);
+endmodule
+"""
+
+
+def watchdog_timer(width: int = 4) -> str:
+    """Watchdog timer: bites when not kicked before the timeout."""
+    return f"""\
+module watchdog{width}(clk, rst, kick, timeout, count, bite);
+  input clk, rst, kick;
+  input [{width - 1}:0] timeout;
+  output reg [{width - 1}:0] count;
+  output reg bite;
+  always @(posedge clk or posedge rst) begin
+    if (rst) begin
+      count <= 0;
+      bite <= 1'b0;
+    end else if (kick) begin
+      count <= 0;
+      bite <= 1'b0;
+    end else if (count >= timeout) begin
+      bite <= 1'b1;
+    end else begin
+      count <= count + 1;
+    end
+  end
+endmodule
+"""
+
+
+def debouncer(width: int = 3) -> str:
+    """Switch debouncer: output follows input only after it is stable."""
+    stable_count = (1 << width) - 1
+    return f"""\
+module debouncer{width}(clk, rst, noisy_in, clean_out, stable);
+  input clk, rst, noisy_in;
+  output reg clean_out;
+  output stable;
+  reg [{width - 1}:0] count;
+  reg last_sample;
+  always @(posedge clk or posedge rst) begin
+    if (rst) begin
+      count <= 0;
+      last_sample <= 1'b0;
+      clean_out <= 1'b0;
+    end else begin
+      last_sample <= noisy_in;
+      if (noisy_in != last_sample)
+        count <= 0;
+      else if (count != {width}'d{stable_count})
+        count <= count + 1;
+      if (count == {width}'d{stable_count})
+        clean_out <= last_sample;
+    end
+  end
+  assign stable = (count == {width}'d{stable_count});
+endmodule
+"""
+
+
+def register_with_interrupt(width: int = 8) -> str:
+    """Status register with interrupt masking (reg_int_sim / can_register analogue)."""
+    lines = [
+        f"module reg_int(clk, rst, write_en, clear_en, mask_en, data_in, mask_in, status, irq);",
+        "  input clk, rst, write_en, clear_en, mask_en;",
+        f"  input [{width - 1}:0] data_in, mask_in;",
+        f"  output reg [{width - 1}:0] status;",
+        "  output irq;",
+        f"  reg [{width - 1}:0] mask;",
+        "  always @(posedge clk or posedge rst) begin",
+        "    if (rst) begin",
+        "      status <= 0;",
+        "      mask <= 0;",
+        "    end else begin",
+        "      if (write_en)",
+        "        status <= status | data_in;",
+        "      if (clear_en)",
+        "        status <= status & ~data_in;",
+        "      if (mask_en)",
+        "        mask <= mask_in;",
+        "    end",
+        "  end",
+        "  assign irq = |(status & mask);",
+        "endmodule",
+    ]
+    return "\n".join(lines) + "\n"
+
+
+def phase_comparator() -> str:
+    """Phase/frequency comparator (phasecomparator.v analogue)."""
+    return """\
+module phasecomparator(clk, rst, ref_edge, fb_edge, up, down, locked);
+  input clk, rst, ref_edge, fb_edge;
+  output reg up, down;
+  output locked;
+  reg [2:0] lock_count;
+  always @(posedge clk or posedge rst) begin
+    if (rst) begin
+      up <= 1'b0;
+      down <= 1'b0;
+      lock_count <= 0;
+    end else begin
+      if (ref_edge & ~fb_edge) begin
+        up <= 1'b1;
+        down <= 1'b0;
+        lock_count <= 0;
+      end else if (fb_edge & ~ref_edge) begin
+        up <= 1'b0;
+        down <= 1'b1;
+        lock_count <= 0;
+      end else begin
+        up <= 1'b0;
+        down <= 1'b0;
+        if (ref_edge & fb_edge) begin
+          if (lock_count != 3'd7)
+            lock_count <= lock_count + 1;
+        end
+      end
+    end
+  end
+  assign locked = (lock_count == 3'd7);
+endmodule
+"""

@@ -1,0 +1,97 @@
+"""In-context-example (ICE) construction for k-shot learning (Section III).
+
+Each ICE is a tuple ⟨D, A⟩ of a training design and its formally verified
+assertions (minimum 2, maximum 10, average ≈4.8 per design in the paper).
+The five training designs are the corpus' ``train`` split; their assertions
+come from the miners and are discharged on the FPV engine before use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..hdl.design import Design
+from ..llm.prompt import InContextExample
+from ..sva.model import Assertion
+from .corpus import AssertionBenchCorpus
+from .knowledge import DesignKnowledgeBase
+
+
+@dataclass
+class IclExampleSet:
+    """The pool of in-context examples available to the evaluation."""
+
+    examples: List[InContextExample] = field(default_factory=list)
+
+    def for_k(self, k: int) -> List[InContextExample]:
+        """Return the first ``k`` examples (1-shot uses the arbiter example)."""
+        if k <= 0:
+            return []
+        if k > len(self.examples):
+            raise ValueError(
+                f"requested {k}-shot but only {len(self.examples)} examples exist"
+            )
+        return self.examples[:k]
+
+    @property
+    def average_assertions(self) -> float:
+        if not self.examples:
+            return 0.0
+        return sum(len(example.assertions) for example in self.examples) / len(self.examples)
+
+    def assertion_counts(self) -> List[int]:
+        return [len(example.assertions) for example in self.examples]
+
+
+def build_icl_examples(
+    corpus: Optional[AssertionBenchCorpus] = None,
+    knowledge: Optional[DesignKnowledgeBase] = None,
+    min_assertions: int = 2,
+    max_assertions: int = 10,
+) -> IclExampleSet:
+    """Build the ICE pool from the corpus' training designs."""
+    corpus = corpus or AssertionBenchCorpus()
+    knowledge = knowledge or DesignKnowledgeBase()
+    examples: List[InContextExample] = []
+    for design in corpus.training_designs():
+        assertions = knowledge.verified_assertions(design)[:max_assertions]
+        if len(assertions) < min_assertions:
+            assertions = _pad_with_trivial(design, assertions, min_assertions)
+        examples.append(InContextExample(design=design, assertions=assertions))
+    return IclExampleSet(examples=examples)
+
+
+def _pad_with_trivial(
+    design: Design, assertions: Sequence[Assertion], minimum: int
+) -> List[Assertion]:
+    """Pad an example with tautological invariants when mining found too few.
+
+    The paper guarantees at least two assertions per ICE; for tiny designs
+    where the miners find fewer proven candidates we add range invariants
+    (always true by construction) so the prompt format stays faithful.
+    """
+    from ..hdl import ast
+    from ..sva.model import OVERLAPPED, SequenceTerm
+
+    padded = list(assertions)
+    clock = design.model.clocks[0] if design.model.clocks else None
+    for name in design.model.outputs + design.model.state_regs:
+        if len(padded) >= minimum:
+            break
+        signal = design.model.signals[name]
+        invariant = Assertion(
+            antecedent=[SequenceTerm(0, ast.Number(1))],
+            consequent=[
+                SequenceTerm(
+                    0,
+                    ast.Binary(
+                        "<=", ast.Identifier(name), ast.Number(signal.max_value)
+                    ),
+                )
+            ],
+            implication=OVERLAPPED,
+            clock=clock,
+        )
+        padded.append(invariant)
+    return padded

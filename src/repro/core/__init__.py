@@ -1,0 +1,73 @@
+"""Core contribution: AssertionBench evaluation framework + AssertionLLM flow."""
+
+from .experiments import ExperimentSuite, SuiteConfig, SuiteResults, run_reproduction
+from .finetune_eval import (
+    FinetuneCampaignResult,
+    FinetuneEvaluationConfig,
+    FinetuneEvaluator,
+    evaluate_finetuned_models,
+)
+from .icl_eval import IclEvaluationConfig, IclEvaluator, evaluate_cots_models
+from .metrics import (
+    CEX,
+    ERROR,
+    PASS,
+    AssertionOutcome,
+    DesignEvaluation,
+    EvaluationMatrix,
+    MetricCounts,
+    ModelKshotResult,
+    categorize,
+)
+from .observations import ObservationCheck, all_observations
+from .pipeline import EvaluationPipeline, PipelineConfig, VerdictCache
+from .reports import (
+    FigureSeries,
+    TableReport,
+    accuracy_matrix_report,
+    corpus_summary,
+    figure3_design_sizes,
+    figure6_accuracy,
+    figure7_model_comparison,
+    figure9_finetuned,
+    ice_statistics,
+    table1_design_details,
+)
+
+__all__ = [
+    "AssertionOutcome",
+    "CEX",
+    "DesignEvaluation",
+    "ERROR",
+    "EvaluationMatrix",
+    "EvaluationPipeline",
+    "ExperimentSuite",
+    "FigureSeries",
+    "FinetuneCampaignResult",
+    "FinetuneEvaluationConfig",
+    "FinetuneEvaluator",
+    "IclEvaluationConfig",
+    "IclEvaluator",
+    "MetricCounts",
+    "ModelKshotResult",
+    "ObservationCheck",
+    "PASS",
+    "PipelineConfig",
+    "SuiteConfig",
+    "SuiteResults",
+    "TableReport",
+    "VerdictCache",
+    "accuracy_matrix_report",
+    "all_observations",
+    "categorize",
+    "corpus_summary",
+    "evaluate_cots_models",
+    "evaluate_finetuned_models",
+    "figure3_design_sizes",
+    "figure6_accuracy",
+    "figure7_model_comparison",
+    "figure9_finetuned",
+    "ice_statistics",
+    "run_reproduction",
+    "table1_design_details",
+]

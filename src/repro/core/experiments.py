@@ -1,0 +1,199 @@
+"""Experiment registry and one-call reproduction entry point.
+
+``ExperimentSuite`` wires the corpus, knowledge base, ICE pool, and both
+evaluation campaigns together behind a single object so that the examples,
+the benchmark harness, and EXPERIMENTS.md regeneration all share one cached
+set of expensive artefacts (mined assertions, FPV verdicts).
+
+The experiment identifiers match DESIGN.md's per-experiment index
+(E1 = Figure 3, E2 = Table I, E3-E6 = Figure 6, E7-E8 = Figure 7,
+E9-E10 = Figure 9, E11 = Observations, E13 = ICE construction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..bench.corpus import AssertionBenchCorpus
+from ..bench.icl import IclExampleSet, build_icl_examples
+from ..bench.knowledge import DesignKnowledgeBase
+from ..llm.profiles import CODELLAMA_2, COTS_PROFILES, LLAMA3_70B
+from .finetune_eval import FinetuneCampaignResult, FinetuneEvaluationConfig, FinetuneEvaluator
+from .icl_eval import IclEvaluationConfig, IclEvaluator
+from .metrics import EvaluationMatrix
+from .observations import ObservationCheck, all_observations
+from .reports import (
+    FigureSeries,
+    TableReport,
+    accuracy_matrix_report,
+    corpus_summary,
+    figure3_design_sizes,
+    figure6_accuracy,
+    figure7_model_comparison,
+    figure9_finetuned,
+    ice_statistics,
+    table1_design_details,
+)
+
+
+@dataclass
+class SuiteConfig:
+    """How much of the benchmark to run.
+
+    The full paper-scale campaign uses all 100 test designs; the default here
+    uses a representative subset so the whole suite regenerates in minutes on
+    a laptop.  Set ``num_cots_designs=None`` for the full run.
+    """
+
+    num_cots_designs: Optional[int] = 16
+    num_finetune_designs: Optional[int] = 24
+    k_values: Sequence[int] = (1, 5)
+
+
+@dataclass
+class SuiteResults:
+    """Everything the suite produced, keyed for report generation."""
+
+    cots_matrix: Optional[EvaluationMatrix] = None
+    finetune_campaign: Optional[FinetuneCampaignResult] = None
+    figures: Dict[str, FigureSeries] = field(default_factory=dict)
+    tables: Dict[str, TableReport] = field(default_factory=dict)
+    observations: List[ObservationCheck] = field(default_factory=list)
+
+
+class ExperimentSuite:
+    """Run and cache every experiment of the reproduction."""
+
+    def __init__(self, config: Optional[SuiteConfig] = None):
+        self.config = config or SuiteConfig()
+        self.corpus = AssertionBenchCorpus()
+        self.knowledge = DesignKnowledgeBase()
+        self._examples: Optional[IclExampleSet] = None
+        self._cots_matrix: Optional[EvaluationMatrix] = None
+        self._finetune_campaign: Optional[FinetuneCampaignResult] = None
+
+    # -- shared artefacts -------------------------------------------------------------
+
+    @property
+    def examples(self) -> IclExampleSet:
+        if self._examples is None:
+            self._examples = build_icl_examples(self.corpus, self.knowledge)
+        return self._examples
+
+    # -- corpus experiments (E1, E2, E13) --------------------------------------------------
+
+    def experiment_figure3(self) -> TableReport:
+        """E1: design-size characterisation."""
+        return figure3_design_sizes(self.corpus)
+
+    def experiment_table1(self) -> TableReport:
+        """E2: representative design details."""
+        return table1_design_details(self.corpus)
+
+    def experiment_corpus_summary(self) -> TableReport:
+        return corpus_summary(self.corpus)
+
+    def experiment_ice(self) -> TableReport:
+        """E13: in-context example construction statistics."""
+        return ice_statistics(self.examples)
+
+    # -- COTS campaign (E3-E8) ----------------------------------------------------------------
+
+    def cots_matrix(self) -> EvaluationMatrix:
+        if self._cots_matrix is None:
+            evaluator = IclEvaluator(
+                corpus=self.corpus,
+                knowledge=self.knowledge,
+                examples=self.examples,
+                config=IclEvaluationConfig(
+                    k_values=tuple(self.config.k_values),
+                    num_test_designs=self.config.num_cots_designs,
+                ),
+            )
+            self._cots_matrix = evaluator.evaluate()
+        return self._cots_matrix
+
+    def experiment_figure6(self) -> Dict[str, FigureSeries]:
+        """E3-E6: per-model accuracy at each k."""
+        matrix = self.cots_matrix()
+        return {
+            profile.name: figure6_accuracy(matrix, profile.name)
+            for profile in COTS_PROFILES
+        }
+
+    def experiment_figure7(self) -> Dict[int, FigureSeries]:
+        """E7-E8: cross-model comparison per k."""
+        matrix = self.cots_matrix()
+        return {k: figure7_model_comparison(matrix, k) for k in self.config.k_values}
+
+    # -- fine-tuned campaign (E9, E10) ------------------------------------------------------------
+
+    def finetune_campaign(self) -> FinetuneCampaignResult:
+        if self._finetune_campaign is None:
+            evaluator = FinetuneEvaluator(
+                corpus=self.corpus,
+                knowledge=self.knowledge,
+                examples=self.examples,
+                config=FinetuneEvaluationConfig(
+                    k_values=tuple(self.config.k_values),
+                    num_designs=self.config.num_finetune_designs,
+                ),
+            )
+            self._finetune_campaign = evaluator.evaluate([CODELLAMA_2, LLAMA3_70B])
+        return self._finetune_campaign
+
+    def experiment_figure9(self) -> Dict[str, FigureSeries]:
+        """E9-E10: fine-tuned AssertionLLM accuracy."""
+        return figure9_finetuned(self.finetune_campaign().matrix)
+
+    # -- observations (E11) -------------------------------------------------------------------------
+
+    def experiment_observations(self) -> List[ObservationCheck]:
+        finetuned = self.finetune_campaign().matrix if self._finetune_campaign else None
+        return all_observations(self.cots_matrix(), finetuned)
+
+    # -- one-call reproduction -------------------------------------------------------------------------
+
+    def run_all(self, include_finetune: bool = True) -> SuiteResults:
+        """Run every experiment and collect reports."""
+        results = SuiteResults()
+        results.tables["figure3"] = self.experiment_figure3()
+        results.tables["table1"] = self.experiment_table1()
+        results.tables["corpus_summary"] = self.experiment_corpus_summary()
+        results.tables["ice"] = self.experiment_ice()
+        results.cots_matrix = self.cots_matrix()
+        for name, figure in self.experiment_figure6().items():
+            results.figures[f"figure6:{name}"] = figure
+        for k, figure in self.experiment_figure7().items():
+            results.figures[f"figure7:{k}-shot"] = figure
+        results.tables["cots_accuracy"] = accuracy_matrix_report(
+            results.cots_matrix, "COTS accuracy matrix (Figures 6 and 7)"
+        )
+        if include_finetune:
+            campaign = self.finetune_campaign()
+            results.finetune_campaign = campaign
+            for name, figure in self.experiment_figure9().items():
+                results.figures[f"figure9:{name}"] = figure
+            results.tables["finetuned_accuracy"] = accuracy_matrix_report(
+                campaign.matrix, "Fine-tuned AssertionLLM accuracy matrix (Figure 9)"
+            )
+            results.observations = all_observations(results.cots_matrix, campaign.matrix)
+        else:
+            results.observations = all_observations(results.cots_matrix, None)
+        return results
+
+
+def run_reproduction(
+    num_cots_designs: Optional[int] = 16,
+    num_finetune_designs: Optional[int] = 24,
+    include_finetune: bool = True,
+) -> SuiteResults:
+    """Convenience wrapper used by the examples and the benchmark harness."""
+    suite = ExperimentSuite(
+        SuiteConfig(
+            num_cots_designs=num_cots_designs,
+            num_finetune_designs=num_finetune_designs,
+        )
+    )
+    return suite.run_all(include_finetune=include_finetune)

@@ -1,0 +1,117 @@
+"""Fine-tuned AssertionLLM evaluation campaign (paper Figures 8 and 9).
+
+Differences from the COTS campaign (Figure 4): the syntax corrector is
+removed, the generator is the fine-tuned model, and the evaluation uses the
+held-out 25% split of AssertionBench rather than the full test set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..bench.corpus import AssertionBenchCorpus
+from ..bench.icl import IclExampleSet, build_icl_examples
+from ..bench.knowledge import DesignKnowledgeBase
+from ..hdl.design import Design
+from ..llm.assertion_llm import AssertionLLM
+from ..llm.finetune import FineTuner, FineTuningConfig, FineTuningReport
+from ..llm.profiles import CODELLAMA_2, LLAMA3_70B, ModelProfile
+from .metrics import EvaluationMatrix, ModelKshotResult
+from .pipeline import EvaluationPipeline, PipelineConfig
+
+
+@dataclass
+class FinetuneEvaluationConfig:
+    """Configuration of the AssertionLLM evaluation campaign."""
+
+    k_values: Sequence[int] = (1, 5)
+    num_designs: Optional[int] = None
+    finetune: FineTuningConfig = field(default_factory=FineTuningConfig)
+    pipeline: PipelineConfig = field(
+        default_factory=lambda: PipelineConfig(use_syntax_corrector=False)
+    )
+
+
+@dataclass
+class FinetuneCampaignResult:
+    """Results plus the fine-tuning reports that produced them."""
+
+    matrix: EvaluationMatrix
+    reports: Dict[str, FineTuningReport] = field(default_factory=dict)
+    models: Dict[str, AssertionLLM] = field(default_factory=dict)
+
+
+class FinetuneEvaluator:
+    """Fine-tune foundation models and evaluate them on the held-out split."""
+
+    def __init__(
+        self,
+        corpus: Optional[AssertionBenchCorpus] = None,
+        knowledge: Optional[DesignKnowledgeBase] = None,
+        examples: Optional[IclExampleSet] = None,
+        config: Optional[FinetuneEvaluationConfig] = None,
+    ):
+        self.corpus = corpus or AssertionBenchCorpus()
+        self.knowledge = knowledge or DesignKnowledgeBase()
+        self.config = config or FinetuneEvaluationConfig()
+        self.examples = examples or build_icl_examples(self.corpus, self.knowledge)
+        self.pipeline = EvaluationPipeline(self.config.pipeline)
+        self.tuner = FineTuner(self.knowledge, self.config.finetune)
+
+    # -- dataset -----------------------------------------------------------------------
+
+    def campaign_designs(self) -> List[Design]:
+        """The designs used for the 75/25 split."""
+        return self.corpus.test_designs(limit=self.config.num_designs)
+
+    # -- evaluation ---------------------------------------------------------------------
+
+    def evaluate_foundation(
+        self, foundation: ModelProfile, designs: Optional[Sequence[Design]] = None
+    ) -> Tuple[List[ModelKshotResult], AssertionLLM, FineTuningReport]:
+        """Fine-tune one foundation model and evaluate it at every k."""
+        designs = list(designs) if designs is not None else self.campaign_designs()
+        model, report = self.tuner.finetune(foundation, designs)
+        held_out = [d for d in designs if d.name in set(report.test_design_names)]
+        results = []
+        for k in self.config.k_values:
+            result = ModelKshotResult(model_name=model.name, k=k)
+            examples = self.examples.for_k(k)
+            for design in held_out:
+                evaluation = self.pipeline.evaluate_design(
+                    model, design, examples, k, use_corrector=False
+                )
+                result.designs.append(evaluation)
+            results.append(result)
+        return results, model, report
+
+    def evaluate(
+        self,
+        foundations: Optional[Sequence[ModelProfile]] = None,
+        designs: Optional[Sequence[Design]] = None,
+    ) -> FinetuneCampaignResult:
+        """Run the Figure 9 campaign for every foundation model."""
+        foundations = list(foundations) if foundations is not None else [CODELLAMA_2, LLAMA3_70B]
+        designs = list(designs) if designs is not None else self.campaign_designs()
+        campaign = FinetuneCampaignResult(matrix=EvaluationMatrix())
+        for foundation in foundations:
+            results, model, report = self.evaluate_foundation(foundation, designs)
+            for result in results:
+                campaign.matrix.add(result)
+            campaign.reports[foundation.name] = report
+            campaign.models[foundation.name] = model
+        return campaign
+
+
+def evaluate_finetuned_models(
+    num_designs: Optional[int] = 24,
+    k_values: Sequence[int] = (1, 5),
+    knowledge: Optional[DesignKnowledgeBase] = None,
+) -> FinetuneCampaignResult:
+    """Convenience wrapper: run the Figure 9 campaign on a design subset."""
+    evaluator = FinetuneEvaluator(
+        knowledge=knowledge,
+        config=FinetuneEvaluationConfig(k_values=tuple(k_values), num_designs=num_designs),
+    )
+    return evaluator.evaluate()

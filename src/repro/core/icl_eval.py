@@ -1,0 +1,105 @@
+"""COTS in-context-learning evaluation campaign (paper Figures 4, 6, 7).
+
+Runs every simulated COTS model at every k-shot setting over the test-design
+set and aggregates the Pass/CEX/Error accuracy per (model, k).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..bench.corpus import AssertionBenchCorpus
+from ..bench.icl import IclExampleSet, build_icl_examples
+from ..bench.knowledge import DesignKnowledgeBase
+from ..hdl.design import Design
+from ..llm.cots import AssertionGenerator, SimulatedCotsLLM
+from ..llm.profiles import COTS_PROFILES, ModelProfile
+from .metrics import EvaluationMatrix, ModelKshotResult
+from .pipeline import EvaluationPipeline, PipelineConfig
+
+
+@dataclass
+class IclEvaluationConfig:
+    """Configuration of the COTS evaluation campaign."""
+
+    k_values: Sequence[int] = (1, 5)
+    num_test_designs: Optional[int] = None
+    pipeline: PipelineConfig = field(default_factory=PipelineConfig)
+
+
+class IclEvaluator:
+    """Evaluate a set of generators on the benchmark (Figure 4 pipeline)."""
+
+    def __init__(
+        self,
+        corpus: Optional[AssertionBenchCorpus] = None,
+        knowledge: Optional[DesignKnowledgeBase] = None,
+        examples: Optional[IclExampleSet] = None,
+        config: Optional[IclEvaluationConfig] = None,
+    ):
+        self.corpus = corpus or AssertionBenchCorpus()
+        self.knowledge = knowledge or DesignKnowledgeBase()
+        self.config = config or IclEvaluationConfig()
+        self.examples = examples or build_icl_examples(self.corpus, self.knowledge)
+        self.pipeline = EvaluationPipeline(self.config.pipeline)
+
+    # -- generators -----------------------------------------------------------------
+
+    def default_generators(self) -> List[SimulatedCotsLLM]:
+        """The four COTS models of the paper, sharing this evaluator's knowledge."""
+        return [SimulatedCotsLLM(profile, self.knowledge) for profile in COTS_PROFILES]
+
+    # -- evaluation ------------------------------------------------------------------
+
+    def test_designs(self) -> List[Design]:
+        return self.corpus.test_designs(limit=self.config.num_test_designs)
+
+    def evaluate_model(
+        self,
+        generator: AssertionGenerator,
+        k: int,
+        designs: Optional[Sequence[Design]] = None,
+        use_corrector: Optional[bool] = None,
+    ) -> ModelKshotResult:
+        """Evaluate one generator at one k-shot setting."""
+        designs = list(designs) if designs is not None else self.test_designs()
+        examples = self.examples.for_k(k)
+        result = ModelKshotResult(model_name=generator.name, k=k)
+        for design in designs:
+            evaluation = self.pipeline.evaluate_design(
+                generator, design, examples, k, use_corrector=use_corrector
+            )
+            result.designs.append(evaluation)
+        return result
+
+    def evaluate(
+        self,
+        generators: Optional[Sequence[AssertionGenerator]] = None,
+        designs: Optional[Sequence[Design]] = None,
+    ) -> EvaluationMatrix:
+        """Evaluate all generators at all configured k values."""
+        generators = list(generators) if generators is not None else self.default_generators()
+        designs = list(designs) if designs is not None else self.test_designs()
+        matrix = EvaluationMatrix()
+        for generator in generators:
+            for k in self.config.k_values:
+                matrix.add(self.evaluate_model(generator, k, designs))
+        return matrix
+
+
+def evaluate_cots_models(
+    num_test_designs: Optional[int] = 20,
+    k_values: Sequence[int] = (1, 5),
+    profiles: Optional[Sequence[ModelProfile]] = None,
+    knowledge: Optional[DesignKnowledgeBase] = None,
+) -> EvaluationMatrix:
+    """Convenience wrapper: run the Figure 6/7 campaign on a design subset."""
+    evaluator = IclEvaluator(
+        knowledge=knowledge,
+        config=IclEvaluationConfig(k_values=tuple(k_values), num_test_designs=num_test_designs),
+    )
+    generators = None
+    if profiles is not None:
+        generators = [SimulatedCotsLLM(profile, evaluator.knowledge) for profile in profiles]
+    return evaluator.evaluate(generators)

@@ -1,0 +1,193 @@
+"""The shared generate → correct → verify pipeline (Figure 4 / Figure 8).
+
+Both evaluation campaigns (COTS ICL and fine-tuned AssertionLLM) run the same
+per-design loop:
+
+1. build the k-shot prompt for the test design,
+2. ask the generator for assertion text,
+3. optionally pass each line through the syntax corrector (the COTS flow
+   uses it, the fine-tuned flow removes it — compare Figures 4 and 8),
+4. discharge each surviving assertion on the FPV engine,
+5. record the Pass/CEX/Error bucket.
+
+FPV verdicts are cached per (design, normalised assertion text) so identical
+assertions emitted by different models or k-settings are only proved once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..fpv.engine import EngineConfig, FormalEngine
+from ..fpv.result import ProofResult, ProofStatus, error_result
+from ..hdl.design import Design
+from ..llm.cots import AssertionGenerator
+from ..llm.decoding import DecodingConfig
+from ..llm.prompt import InContextExample, PromptBuilder
+from ..sva.corrector import SyntaxCorrector
+from ..sva.errors import SvaError
+from ..sva.parser import parse_assertion, split_assertion_lines
+from .metrics import AssertionOutcome, DesignEvaluation, categorize
+
+
+@dataclass
+class PipelineConfig:
+    """Knobs of the evaluation pipeline."""
+
+    use_syntax_corrector: bool = True
+    resolve_signal_names: bool = True
+    decoding: DecodingConfig = field(default_factory=DecodingConfig)
+    engine: EngineConfig = field(
+        default_factory=lambda: EngineConfig(
+            max_states=2048,
+            max_transitions=120_000,
+            max_input_bits=10,
+            max_state_bits=14,
+            max_path_evaluations=120_000,
+            fallback_cycles=256,
+            fallback_seeds=2,
+        )
+    )
+
+
+class VerdictCache:
+    """Cache of FPV verdicts keyed by (design name, assertion text)."""
+
+    def __init__(self):
+        self._verdicts: Dict[tuple, ProofResult] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, design_name: str, text: str) -> Optional[ProofResult]:
+        key = (design_name, " ".join(text.split()))
+        result = self._verdicts.get(key)
+        if result is not None:
+            self.hits += 1
+        return result
+
+    def put(self, design_name: str, text: str, result: ProofResult) -> None:
+        key = (design_name, " ".join(text.split()))
+        self.misses += 1
+        self._verdicts[key] = result
+
+    def __len__(self) -> int:
+        return len(self._verdicts)
+
+
+class EvaluationPipeline:
+    """Run one generator over one test design and classify its output."""
+
+    def __init__(self, config: Optional[PipelineConfig] = None):
+        self._config = config or PipelineConfig()
+        self._prompt_builder = PromptBuilder()
+        self._engines: Dict[str, FormalEngine] = {}
+        self._cache = VerdictCache()
+
+    @property
+    def config(self) -> PipelineConfig:
+        return self._config
+
+    @property
+    def cache(self) -> VerdictCache:
+        return self._cache
+
+    # -- engine/corrector management ---------------------------------------------------
+
+    def _engine_for(self, design: Design) -> FormalEngine:
+        if design.name not in self._engines:
+            self._engines[design.name] = FormalEngine(design, self._config.engine)
+        return self._engines[design.name]
+
+    # -- main entry point -----------------------------------------------------------------
+
+    def evaluate_design(
+        self,
+        generator: AssertionGenerator,
+        design: Design,
+        examples: Sequence[InContextExample],
+        k: int,
+        use_corrector: Optional[bool] = None,
+    ) -> DesignEvaluation:
+        """Generate assertions for ``design`` and bucket every one of them."""
+        prompt = self._prompt_builder.build(list(examples), design)
+        generation = generator.generate(prompt, self._config.decoding)
+        lines = split_assertion_lines(generation.text)
+
+        corrector_enabled = (
+            self._config.use_syntax_corrector if use_corrector is None else use_corrector
+        )
+        corrector = (
+            SyntaxCorrector(design=design, resolve_signals=self._config.resolve_signal_names)
+            if corrector_enabled
+            else None
+        )
+
+        evaluation = DesignEvaluation(design_name=design.name)
+        for raw in lines:
+            outcome = self._classify_line(
+                raw, design, generator.name, k, corrector
+            )
+            evaluation.outcomes.append(outcome)
+        return evaluation
+
+    # -- per-assertion classification ----------------------------------------------------------
+
+    def _classify_line(
+        self,
+        raw: str,
+        design: Design,
+        model_name: str,
+        k: int,
+        corrector: Optional[SyntaxCorrector],
+    ) -> AssertionOutcome:
+        corrected_text = raw
+        correction_applied = False
+        assertion = None
+
+        if corrector is not None:
+            correction = corrector.correct(raw)
+            corrected_text = correction.corrected
+            correction_applied = bool(correction.applied_rules)
+            assertion = correction.assertion
+        else:
+            try:
+                assertion = parse_assertion(raw)
+            except SvaError:
+                assertion = None
+
+        if assertion is None:
+            proof = error_result(
+                "assertion could not be parsed" + (" after correction" if corrector else ""),
+                design.name,
+            )
+            return AssertionOutcome(
+                design_name=design.name,
+                model_name=model_name,
+                k=k,
+                raw_text=raw,
+                corrected_text=corrected_text,
+                category=categorize(proof),
+                proof=proof,
+                correction_applied=correction_applied,
+            )
+
+        proof = self._check_cached(design, assertion.to_sva(include_assert=False), assertion)
+        return AssertionOutcome(
+            design_name=design.name,
+            model_name=model_name,
+            k=k,
+            raw_text=raw,
+            corrected_text=corrected_text,
+            category=categorize(proof),
+            proof=proof,
+            correction_applied=correction_applied,
+        )
+
+    def _check_cached(self, design: Design, text: str, assertion) -> ProofResult:
+        cached = self._cache.get(design.name, text)
+        if cached is not None:
+            return cached
+        result = self._engine_for(design).check(assertion)
+        self._cache.put(design.name, text, result)
+        return result

@@ -1,0 +1,234 @@
+"""Renderers for every table and figure of the paper's evaluation.
+
+Each function returns both the structured data (for tests and EXPERIMENTS.md)
+and a plain-text rendering (what the benchmark harness prints), covering:
+
+* Figure 3  — test-set design sizes (LoC),
+* Table I   — representative design details,
+* Figure 6  — per-model accuracy at 1-shot vs 5-shot,
+* Figure 7  — cross-model comparison per k,
+* Figure 9  — fine-tuned model accuracy,
+* the ICE statistics quoted in Section III/IV (2-10 assertions, avg 4.8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..bench.corpus import AssertionBenchCorpus
+from ..bench.icl import IclExampleSet
+from .metrics import CEX, ERROR, PASS, EvaluationMatrix
+
+
+@dataclass
+class FigureSeries:
+    """One rendered figure: named series of (label, value) points."""
+
+    title: str
+    series: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    text: str = ""
+
+    def values(self, series_name: str) -> Dict[str, float]:
+        return self.series[series_name]
+
+
+@dataclass
+class TableReport:
+    """One rendered table: column headers plus rows."""
+
+    title: str
+    headers: List[str] = field(default_factory=list)
+    rows: List[List[str]] = field(default_factory=list)
+    text: str = ""
+
+
+def _format_table(title: str, headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(str(cell)))
+    lines = [title]
+    lines.append("  ".join(str(h).ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in rows:
+        lines.append("  ".join(str(cell).ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Figure 3 and Table I — corpus characterisation
+# ---------------------------------------------------------------------------
+
+
+def figure3_design_sizes(corpus: AssertionBenchCorpus) -> TableReport:
+    """Lines of code per test design (Figure 3)."""
+    loc = corpus.loc_by_design("test")
+    ordered = sorted(loc.items(), key=lambda item: -item[1])
+    rows = [[name, str(count)] for name, count in ordered]
+    table = TableReport(
+        title="Figure 3: test-set design sizes (LoC, excluding comments and blanks)",
+        headers=["design", "loc"],
+        rows=rows,
+    )
+    table.text = _format_table(table.title, table.headers, rows)
+    return table
+
+
+def table1_design_details(corpus: AssertionBenchCorpus, count: int = 5) -> TableReport:
+    """Representative design details (Table I)."""
+    rows = []
+    for design in corpus.representative_designs(count):
+        rows.append(
+            [
+                design.name,
+                str(design.loc),
+                design.design_type.capitalize(),
+                design.functionality,
+            ]
+        )
+    table = TableReport(
+        title="Table I: representative designs in the AssertionBench test set",
+        headers=["Verilog Design", "# of Lines", "Design Type", "Design Functionality"],
+        rows=rows,
+    )
+    table.text = _format_table(table.title, table.headers, rows)
+    return table
+
+
+# ---------------------------------------------------------------------------
+# Figures 6, 7, 9 — accuracy figures
+# ---------------------------------------------------------------------------
+
+
+def figure6_accuracy(matrix: EvaluationMatrix, model_name: str) -> FigureSeries:
+    """Pass/CEX/Error per k for one model (one sub-figure of Figure 6 or 9)."""
+    figure = FigureSeries(title=f"Accuracy of generated assertions for {model_name}")
+    rows = []
+    for k in sorted(matrix.results.get(model_name, {})):
+        accuracy = matrix.get(model_name, k).accuracy
+        figure.series[f"{k}-shot"] = {
+            "Pass": accuracy[PASS],
+            "CEX": accuracy[CEX],
+            "Error": accuracy[ERROR],
+        }
+        rows.append(
+            [
+                f"{k}-shot",
+                f"{accuracy[PASS]:.3f}",
+                f"{accuracy[CEX]:.3f}",
+                f"{accuracy[ERROR]:.3f}",
+            ]
+        )
+    figure.text = _format_table(
+        figure.title, ["k", "Pass", "CEX", "Error"], rows
+    )
+    return figure
+
+
+def figure7_model_comparison(matrix: EvaluationMatrix, k: int) -> FigureSeries:
+    """Cross-model comparison at one k (Figure 7a for k=1, 7b for k=5)."""
+    figure = FigureSeries(
+        title=f"Comparison of generated-assertion accuracy across models ({k}-shot)"
+    )
+    rows = []
+    for model_name in matrix.model_names:
+        if k not in matrix.results[model_name]:
+            continue
+        accuracy = matrix.get(model_name, k).accuracy
+        figure.series[model_name] = {
+            "Pass": accuracy[PASS],
+            "CEX": accuracy[CEX],
+            "Error": accuracy[ERROR],
+        }
+        rows.append(
+            [
+                model_name,
+                f"{accuracy[PASS]:.3f}",
+                f"{accuracy[CEX]:.3f}",
+                f"{accuracy[ERROR]:.3f}",
+            ]
+        )
+    figure.text = _format_table(figure.title, ["model", "Pass", "CEX", "Error"], rows)
+    return figure
+
+
+def figure9_finetuned(matrix: EvaluationMatrix) -> Dict[str, FigureSeries]:
+    """Per-model accuracy of the fine-tuned AssertionLLM variants (Figure 9)."""
+    return {
+        model_name: figure6_accuracy(matrix, model_name)
+        for model_name in matrix.model_names
+    }
+
+
+# ---------------------------------------------------------------------------
+# Section III/IV statistics
+# ---------------------------------------------------------------------------
+
+
+def ice_statistics(examples: IclExampleSet) -> TableReport:
+    """ICE construction statistics (2-10 assertions per design, avg ~4.8)."""
+    rows = []
+    for example in examples.examples:
+        rows.append(
+            [
+                example.design.name,
+                str(example.design.loc),
+                example.design.design_type,
+                str(len(example.assertions)),
+            ]
+        )
+    rows.append(["average", "", "", f"{examples.average_assertions:.2f}"])
+    table = TableReport(
+        title="In-context example construction (training designs and verified assertions)",
+        headers=["design", "loc", "type", "# assertions"],
+        rows=rows,
+    )
+    table.text = _format_table(table.title, table.headers, rows)
+    return table
+
+
+def corpus_summary(corpus: AssertionBenchCorpus) -> TableReport:
+    """Overall corpus statistics used throughout Section III."""
+    loc = corpus.loc_by_design("test")
+    counts = corpus.split_counts()
+    rows = [
+        ["test designs", str(len(loc))],
+        ["training designs", str(len(corpus.names("train")))],
+        ["combinational", str(counts["combinational"])],
+        ["sequential", str(counts["sequential"])],
+        ["min LoC", str(min(loc.values()))],
+        ["max LoC", str(max(loc.values()))],
+        ["mean LoC", f"{sum(loc.values()) / len(loc):.1f}"],
+    ]
+    table = TableReport(
+        title="AssertionBench corpus summary", headers=["metric", "value"], rows=rows
+    )
+    table.text = _format_table(table.title, table.headers, rows)
+    return table
+
+
+def accuracy_matrix_report(matrix: EvaluationMatrix, title: str) -> TableReport:
+    """Flat table of every (model, k) accuracy triple."""
+    rows = []
+    for model_name in matrix.model_names:
+        for k in sorted(matrix.results[model_name]):
+            result = matrix.get(model_name, k)
+            accuracy = result.accuracy
+            rows.append(
+                [
+                    model_name,
+                    str(k),
+                    str(result.num_assertions),
+                    f"{accuracy[PASS]:.3f}",
+                    f"{accuracy[CEX]:.3f}",
+                    f"{accuracy[ERROR]:.3f}",
+                ]
+            )
+    table = TableReport(
+        title=title,
+        headers=["model", "k", "# assertions", "Pass", "CEX", "Error"],
+        rows=rows,
+    )
+    table.text = _format_table(table.title, table.headers, rows)
+    return table

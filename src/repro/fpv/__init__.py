@@ -1,0 +1,28 @@
+"""Formal property verification: transition systems, proof engine, verdicts."""
+
+from .engine import EngineConfig, FormalEngine, check_assertion
+from .result import Counterexample, ProofResult, ProofStatus, error_result
+from .trace_check import TraceChecker, TraceCheckResult, check_on_trace
+from .transition import (
+    ReachabilityResult,
+    TransitionStep,
+    TransitionSystem,
+    enumerate_reachable,
+)
+
+__all__ = [
+    "Counterexample",
+    "EngineConfig",
+    "FormalEngine",
+    "ProofResult",
+    "ProofStatus",
+    "ReachabilityResult",
+    "TraceCheckResult",
+    "TraceChecker",
+    "TransitionStep",
+    "TransitionSystem",
+    "check_assertion",
+    "check_on_trace",
+    "enumerate_reachable",
+    "error_result",
+]

@@ -1,0 +1,373 @@
+"""Formal property verification engine.
+
+This is the reproduction's stand-in for Cadence JasperGold (Figure 4, step 4
+of the paper): given a design and an assertion it returns one of the four
+verdicts of Figure 2 — proven, vacuous, counterexample, or error.
+
+Two proof strategies are used:
+
+* **Exhaustive explicit-state checking** — when the design's free-input space
+  is enumerable and the reachable state set fits within the configured caps,
+  the engine enumerates every reachable state and every input path of the
+  assertion's temporal depth.  The verdict is then *complete*: PROVEN means
+  the assertion holds on all reachable behaviour, VACUOUS means its
+  antecedent can never match, CEX comes with a concrete witness path.
+* **Simulation falsification** — for designs beyond those caps the engine
+  runs long constrained-random simulations and checks the assertion on the
+  traces.  A violation still yields a genuine CEX; the absence of violations
+  yields a *bounded* PROVEN/VACUOUS verdict (``ProofResult.complete`` False),
+  mirroring how bounded proofs are reported by commercial tools.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..hdl.design import Design
+from ..hdl.errors import HdlError
+from ..sim.eval import EvalError, ExprEvaluator
+from ..sim.simulator import Simulator
+from ..sim.stimulus import RandomStimulus, ResetSequenceStimulus
+from ..sva.checker import bind
+from ..sva.errors import SvaError
+from ..sva.model import Assertion, SequenceTerm
+from ..sva.parser import parse_assertion
+from .result import Counterexample, ProofResult, ProofStatus, error_result
+from .trace_check import TraceChecker
+from .transition import ReachabilityResult, State, TransitionSystem, enumerate_reachable
+
+
+@dataclass
+class EngineConfig:
+    """Resource limits and fallback parameters for the FPV engine."""
+
+    max_states: int = 8192
+    max_transitions: int = 400_000
+    max_input_bits: int = 12
+    #: Designs with more state bits than this go straight to simulation
+    #: falsification (explicit-state reachability would not terminate within
+    #: the caps anyway, so the attempt is not worth its cost).
+    max_state_bits: int = 16
+    max_path_evaluations: int = 400_000
+    fallback_cycles: int = 1500
+    fallback_seeds: int = 3
+    reset_cycles: int = 2
+
+
+class _Budget:
+    """Mutable evaluation budget shared by one exhaustive check."""
+
+    def __init__(self, limit: int):
+        self.limit = limit
+        self.used = 0
+
+    def spend(self, amount: int = 1) -> bool:
+        self.used += amount
+        return self.used <= self.limit
+
+
+class FormalEngine:
+    """Check assertions against one design."""
+
+    def __init__(self, design: Design, config: Optional[EngineConfig] = None):
+        self._design = design
+        self._config = config or EngineConfig()
+        self._system = TransitionSystem(
+            design, max_input_bits=self._config.max_input_bits
+        )
+        self._evaluator = ExprEvaluator(design.model)
+        self._reachability: Optional[ReachabilityResult] = None
+        self._fallback_traces: Optional[List] = None
+
+    @property
+    def design(self) -> Design:
+        return self._design
+
+    @property
+    def config(self) -> EngineConfig:
+        return self._config
+
+    # -- public API ----------------------------------------------------------------
+
+    def check(self, assertion_or_text: Union[str, Assertion]) -> ProofResult:
+        """Check one assertion (text or parsed) and return its verdict."""
+        assertion, parse_error = self._to_assertion(assertion_or_text)
+        if parse_error is not None:
+            return error_result(parse_error, self._design.name)
+
+        report = bind(assertion, self._design)
+        if not report.ok:
+            return error_result(
+                "; ".join(report.messages), self._design.name, assertion
+            )
+
+        try:
+            if self._can_check_exhaustively(assertion):
+                return self._check_exhaustive(assertion)
+            return self._check_by_simulation(assertion)
+        except EvalError as exc:
+            return error_result(f"evaluation error: {exc}", self._design.name, assertion)
+        except HdlError as exc:
+            return error_result(f"elaboration error: {exc}", self._design.name, assertion)
+
+    def check_all(
+        self, assertions: Iterable[Union[str, Assertion]]
+    ) -> List[ProofResult]:
+        """Check a batch of assertions."""
+        return [self.check(item) for item in assertions]
+
+    # -- parsing --------------------------------------------------------------------
+
+    def _to_assertion(
+        self, assertion_or_text: Union[str, Assertion]
+    ) -> Tuple[Optional[Assertion], Optional[str]]:
+        if isinstance(assertion_or_text, Assertion):
+            return assertion_or_text, None
+        try:
+            return parse_assertion(assertion_or_text), None
+        except SvaError as exc:
+            return None, f"syntax error: {exc}"
+
+    # -- strategy selection ------------------------------------------------------------
+
+    def _can_check_exhaustively(self, assertion: Assertion) -> bool:
+        if not self._system.can_enumerate_inputs:
+            return False
+        if self._system.state_bits > self._config.max_state_bits:
+            return False
+        reachability = self._reachable()
+        if not reachability.complete:
+            return False
+        # Rough cost estimate: every reachable state starts one evaluation
+        # attempt that fans out over the input space for each cycle of depth.
+        depth = assertion.temporal_depth + 1
+        cost = reachability.count * (self._system.input_space_size ** min(depth, 2))
+        return cost <= self._config.max_path_evaluations * 4
+
+    def _reachable(self) -> ReachabilityResult:
+        if self._reachability is None:
+            self._reachability = enumerate_reachable(
+                self._system,
+                max_states=self._config.max_states,
+                max_transitions=self._config.max_transitions,
+            )
+        return self._reachability
+
+    # -- exhaustive explicit-state checking ----------------------------------------------
+
+    def _check_exhaustive(self, assertion: Assertion) -> ProofResult:
+        reachability = self._reachable()
+        depth = assertion.temporal_depth
+        antecedent = _terms_by_offset(assertion.antecedent)
+        consequent = _terms_by_offset(assertion.consequent_terms_absolute())
+        budget = _Budget(self._config.max_path_evaluations)
+
+        triggered = False
+        for state in reachability.states:
+            outcome = self._explore(
+                assertion, state, 0, depth, antecedent, consequent, [], budget
+            )
+            if outcome is None:
+                # Budget exhausted: drop to bounded simulation checking.
+                return self._check_by_simulation(assertion)
+            path_triggered, witness = outcome
+            triggered = triggered or path_triggered
+            if witness is not None:
+                cycles, failed_term = witness
+                return ProofResult(
+                    status=ProofStatus.CEX,
+                    assertion=assertion,
+                    design_name=self._design.name,
+                    counterexample=Counterexample(
+                        cycles=cycles, trigger_cycle=0, failed_term=failed_term
+                    ),
+                    reason="counterexample found by explicit-state search",
+                    engine="explicit-state",
+                    complete=True,
+                    states_explored=reachability.count,
+                    depth=depth,
+                )
+
+        status = ProofStatus.PROVEN if triggered else ProofStatus.VACUOUS
+        reason = (
+            "holds on all reachable states"
+            if triggered
+            else "antecedent unreachable on all reachable states"
+        )
+        return ProofResult(
+            status=status,
+            assertion=assertion,
+            design_name=self._design.name,
+            reason=reason,
+            engine="explicit-state",
+            complete=True,
+            states_explored=reachability.count,
+            depth=depth,
+        )
+
+    def _explore(
+        self,
+        assertion: Assertion,
+        state: State,
+        offset: int,
+        depth: int,
+        antecedent: Dict[int, List[SequenceTerm]],
+        consequent: Dict[int, List[SequenceTerm]],
+        path: List[Dict[str, int]],
+        budget: _Budget,
+    ) -> Optional[Tuple[bool, Optional[Tuple[List[Dict[str, int]], str]]]]:
+        """Depth-first search over input choices for one evaluation attempt.
+
+        Returns ``(antecedent_can_match, witness)`` where ``witness`` is a
+        (cycles, failed term) pair if a violating path exists, or ``None`` for
+        the whole tuple when the evaluation budget is exhausted.
+        """
+        triggered_any = False
+        for inputs in self._system.enumerate_inputs():
+            if not budget.spend():
+                return None
+            step = self._system.step(state, inputs)
+            env = step.env
+            if offset == 0 and assertion.disable_iff is not None:
+                if self._truth(assertion.disable_iff, env):
+                    continue
+            if not self._terms_hold(antecedent.get(offset, ()), env):
+                continue
+            failed_term = self._first_failed(consequent.get(offset, ()), env)
+            new_path = path + [env]
+            if offset == depth:
+                triggered_any = True
+                if failed_term is not None:
+                    return True, (new_path, failed_term)
+                continue
+            if failed_term is not None:
+                # A consequent term already failed; the attempt is violated as
+                # soon as the remaining antecedent terms can still match.
+                outcome = self._explore(
+                    assertion,
+                    step.next_state,
+                    offset + 1,
+                    depth,
+                    antecedent,
+                    {},
+                    new_path,
+                    budget,
+                )
+                if outcome is None:
+                    return None
+                deeper_triggered, _ = outcome
+                if deeper_triggered:
+                    return True, (new_path, failed_term)
+                continue
+            outcome = self._explore(
+                assertion,
+                step.next_state,
+                offset + 1,
+                depth,
+                antecedent,
+                consequent,
+                new_path,
+                budget,
+            )
+            if outcome is None:
+                return None
+            deeper_triggered, witness = outcome
+            triggered_any = triggered_any or deeper_triggered
+            if witness is not None:
+                return True, witness
+        return triggered_any, None
+
+    def _terms_hold(self, terms: Sequence[SequenceTerm], env: Dict[str, int]) -> bool:
+        return all(self._truth(term.expr, env) for term in terms)
+
+    def _first_failed(
+        self, terms: Sequence[SequenceTerm], env: Dict[str, int]
+    ) -> Optional[str]:
+        for term in terms:
+            if not self._truth(term.expr, env):
+                return str(term.expr)
+        return None
+
+    def _truth(self, expr, env: Dict[str, int]) -> bool:
+        return bool(self._evaluator.eval(expr, env))
+
+    # -- simulation falsification -------------------------------------------------------
+
+    def _fallback_trace_set(self) -> List:
+        """Build (once) and cache the random traces used for falsification.
+
+        All assertions checked against this design share the same traces, so
+        batch verification of a candidate set costs one simulation per seed
+        rather than one per assertion.
+        """
+        if self._fallback_traces is None:
+            traces = []
+            for seed in range(self._config.fallback_seeds):
+                simulator = Simulator(self._design)
+                stimulus = ResetSequenceStimulus(
+                    RandomStimulus(seed=seed), reset_cycles=self._config.reset_cycles
+                )
+                traces.append(
+                    simulator.run(cycles=self._config.fallback_cycles, stimulus=stimulus)
+                )
+            self._fallback_traces = traces
+        return self._fallback_traces
+
+    def _check_by_simulation(self, assertion: Assertion) -> ProofResult:
+        checker = TraceChecker(self._design.model)
+        triggers = 0
+        depth = assertion.temporal_depth
+        for seed, trace in enumerate(self._fallback_trace_set()):
+            result = checker.check(assertion, trace)
+            triggers += result.triggers
+            if result.violations:
+                start = result.first_violation
+                window = trace.window(start, depth + 1)
+                cycles = [window.row(i) for i in range(window.num_cycles)]
+                return ProofResult(
+                    status=ProofStatus.CEX,
+                    assertion=assertion,
+                    design_name=self._design.name,
+                    counterexample=Counterexample(
+                        cycles=cycles,
+                        trigger_cycle=start,
+                        failed_term=result.failed_terms[0],
+                    ),
+                    reason=f"counterexample found by simulation (seed {seed})",
+                    engine="simulation",
+                    complete=True,
+                    depth=depth,
+                )
+        status = ProofStatus.PROVEN if triggers else ProofStatus.VACUOUS
+        reason = (
+            "no violation in bounded random simulation"
+            if triggers
+            else "antecedent never matched in bounded random simulation"
+        )
+        return ProofResult(
+            status=status,
+            assertion=assertion,
+            design_name=self._design.name,
+            reason=reason,
+            engine="simulation",
+            complete=False,
+            depth=depth,
+        )
+
+
+def _terms_by_offset(terms: Sequence[SequenceTerm]) -> Dict[int, List[SequenceTerm]]:
+    by_offset: Dict[int, List[SequenceTerm]] = {}
+    for term in terms:
+        by_offset.setdefault(term.offset, []).append(term)
+    return by_offset
+
+
+def check_assertion(
+    design: Design,
+    assertion_or_text: Union[str, Assertion],
+    config: Optional[EngineConfig] = None,
+) -> ProofResult:
+    """Convenience wrapper: check one assertion against one design."""
+    return FormalEngine(design, config).check(assertion_or_text)

@@ -1,0 +1,118 @@
+"""Proof result model for the formal property verification engine.
+
+The engine returns the same four-way verdict the paper reads off JasperGold
+(Figure 2): an assertion is *proven* (valid), *vacuous* (its pre-condition is
+unreachable, hence vacuously true), *failed* (a counterexample trace exists),
+or *erroneous* (it cannot even be elaborated).  The paper's three evaluation
+metrics map onto these verdicts as:
+
+* ``Pass``  = PROVEN + VACUOUS
+* ``CEX``   = CEX
+* ``Error`` = ERROR
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..sva.model import Assertion
+
+
+class ProofStatus(enum.Enum):
+    """Verdict of one formal check."""
+
+    PROVEN = "proven"
+    VACUOUS = "vacuous"
+    CEX = "cex"
+    ERROR = "error"
+
+    @property
+    def is_pass(self) -> bool:
+        """True for the verdicts the paper's ``Pass`` metric counts."""
+        return self in (ProofStatus.PROVEN, ProofStatus.VACUOUS)
+
+    @property
+    def is_fail(self) -> bool:
+        return self is ProofStatus.CEX
+
+    @property
+    def is_error(self) -> bool:
+        return self is ProofStatus.ERROR
+
+
+@dataclass
+class Counterexample:
+    """A concrete witness refuting an assertion.
+
+    ``cycles`` is a list of full signal snapshots; cycle ``trigger_cycle`` is
+    the start of the failing evaluation attempt.
+    """
+
+    cycles: List[Dict[str, int]] = field(default_factory=list)
+    trigger_cycle: int = 0
+    failed_term: str = ""
+
+    @property
+    def length(self) -> int:
+        return len(self.cycles)
+
+    def format(self, signals: Optional[List[str]] = None) -> str:
+        """Render the counterexample as a small waveform table."""
+        if not self.cycles:
+            return "<empty counterexample>"
+        names = signals or sorted(self.cycles[0])
+        width = max(len(name) for name in names)
+        lines = ["cycle".ljust(width + 2) + " ".join(f"{i:>4d}" for i in range(len(self.cycles)))]
+        for name in names:
+            row = " ".join(f"{cycle.get(name, 0):>4d}" for cycle in self.cycles)
+            lines.append(f"{name.ljust(width + 2)}{row}")
+        if self.failed_term:
+            lines.append(f"failing consequent term: {self.failed_term}")
+        return "\n".join(lines)
+
+
+@dataclass
+class ProofResult:
+    """Outcome of checking one assertion against one design."""
+
+    status: ProofStatus
+    assertion: Optional[Assertion] = None
+    design_name: str = ""
+    counterexample: Optional[Counterexample] = None
+    reason: str = ""
+    engine: str = ""
+    complete: bool = True
+    states_explored: int = 0
+    depth: int = 0
+
+    @property
+    def is_pass(self) -> bool:
+        return self.status.is_pass
+
+    @property
+    def is_fail(self) -> bool:
+        return self.status.is_fail
+
+    @property
+    def is_error(self) -> bool:
+        return self.status.is_error
+
+    def summary(self) -> str:
+        """One-line report, similar to an FPV tool's proof table row."""
+        text = self.assertion.body_text() if self.assertion is not None else "<unparsed>"
+        qualifier = "" if self.complete else " (bounded)"
+        detail = f" — {self.reason}" if self.reason else ""
+        return f"[{self.status.value.upper()}{qualifier}] {text}{detail}"
+
+
+def error_result(reason: str, design_name: str = "", assertion: Optional[Assertion] = None) -> ProofResult:
+    """Build an ERROR result (syntax or elaboration failure)."""
+    return ProofResult(
+        status=ProofStatus.ERROR,
+        assertion=assertion,
+        design_name=design_name,
+        reason=reason,
+        engine="frontend",
+    )

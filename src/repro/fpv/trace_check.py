@@ -1,0 +1,100 @@
+"""Evaluate assertions over simulation traces.
+
+Used in three places: the FPV engine's simulation-falsification fallback, the
+assertion miners' candidate filtering, and the test suite's cross-checks
+between formal verdicts and simulated behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..hdl.elaborate import RtlModel
+from ..sim.eval import EvalError, ExprEvaluator
+from ..sim.trace import Trace
+from ..sva.model import Assertion
+
+
+@dataclass
+class TraceCheckResult:
+    """Summary of evaluating one assertion over one trace."""
+
+    attempts: int = 0
+    triggers: int = 0
+    violations: int = 0
+    violation_cycles: List[int] = field(default_factory=list)
+    failed_terms: List[str] = field(default_factory=list)
+
+    @property
+    def first_violation(self) -> Optional[int]:
+        return self.violation_cycles[0] if self.violation_cycles else None
+
+    @property
+    def vacuous(self) -> bool:
+        """True when the antecedent never matched anywhere in the trace."""
+        return self.triggers == 0
+
+    @property
+    def holds(self) -> bool:
+        """True when no evaluation attempt was violated."""
+        return self.violations == 0
+
+
+class TraceChecker:
+    """Check assertions against recorded traces of one design."""
+
+    def __init__(self, model: RtlModel):
+        self._model = model
+        self._evaluator = ExprEvaluator(model)
+
+    def check(self, assertion: Assertion, trace: Trace) -> TraceCheckResult:
+        """Evaluate ``assertion`` at every possible start cycle of ``trace``."""
+        result = TraceCheckResult()
+        depth = assertion.temporal_depth
+        consequent = assertion.consequent_terms_absolute()
+        last_start = trace.num_cycles - depth - 1
+        for start in range(0, last_start + 1):
+            result.attempts += 1
+            if not self._antecedent_matches(assertion, trace, start):
+                continue
+            result.triggers += 1
+            failed = self._first_failed_consequent(consequent, trace, start)
+            if failed is not None:
+                result.violations += 1
+                result.violation_cycles.append(start)
+                result.failed_terms.append(failed)
+        return result
+
+    def holds_on(self, assertion: Assertion, trace: Trace) -> bool:
+        """True when the assertion has no violation on the trace."""
+        return self.check(assertion, trace).holds
+
+    # -- internals -------------------------------------------------------------
+
+    def _antecedent_matches(self, assertion: Assertion, trace: Trace, start: int) -> bool:
+        for term in assertion.antecedent:
+            env = trace.row(start + term.offset)
+            if not self._truth(term.expr, env):
+                return False
+        if assertion.disable_iff is not None:
+            # Disable the attempt when the abort condition holds at its start.
+            if self._truth(assertion.disable_iff, trace.row(start)):
+                return False
+        return True
+
+    def _first_failed_consequent(self, consequent, trace: Trace, start: int) -> Optional[str]:
+        for term in consequent:
+            env = trace.row(start + term.offset)
+            if not self._truth(term.expr, env):
+                return str(term.expr)
+        return None
+
+    def _truth(self, expr, env: Dict[str, int]) -> bool:
+        value = self._evaluator.eval(expr, env)
+        return bool(value)
+
+
+def check_on_trace(assertion: Assertion, trace: Trace, model: RtlModel) -> TraceCheckResult:
+    """Convenience wrapper for one-off trace checks."""
+    return TraceChecker(model).check(assertion, trace)

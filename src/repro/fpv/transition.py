@@ -1,0 +1,228 @@
+"""Finite transition system extracted from an elaborated RTL model.
+
+The FPV engine explores the design as a finite-state machine whose state is
+the vector of register values and whose transitions are labelled by primary
+input valuations.  This module provides the state encoding, input-space
+enumeration, and the single-cycle image computation shared by reachability
+analysis and path checking.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..hdl.design import Design
+from ..hdl.elaborate import RtlModel
+from ..sim.eval import ExprEvaluator, StatementExecutor
+
+State = Tuple[int, ...]
+InputVector = Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class TransitionStep:
+    """One explored transition: the settled environment and the next state."""
+
+    env: Dict[str, int]
+    next_state: State
+
+
+class TransitionSystem:
+    """State-space view of one design."""
+
+    def __init__(self, design_or_model, max_input_bits: int = 14):
+        if isinstance(design_or_model, Design):
+            self._model: RtlModel = design_or_model.model
+        else:
+            self._model = design_or_model
+        self._evaluator = ExprEvaluator(self._model)
+        self._executor = StatementExecutor(self._model, self._evaluator)
+        self._state_names: List[str] = list(self._model.state_regs)
+        self._input_names: List[str] = list(self._model.non_clock_inputs)
+        self._max_input_bits = max_input_bits
+        self._step_cache: Dict[Tuple[State, InputVector], TransitionStep] = {}
+        self._step_cache_limit = 200_000
+
+    # -- basic properties -------------------------------------------------------
+
+    @property
+    def model(self) -> RtlModel:
+        return self._model
+
+    @property
+    def state_names(self) -> List[str]:
+        return self._state_names
+
+    @property
+    def input_names(self) -> List[str]:
+        return self._input_names
+
+    @property
+    def state_bits(self) -> int:
+        return sum(self._model.signals[name].width for name in self._state_names)
+
+    @property
+    def input_bits(self) -> int:
+        return sum(self._model.signals[name].width for name in self._input_names)
+
+    @property
+    def input_space_size(self) -> int:
+        size = 1
+        for name in self._input_names:
+            size *= self._model.signals[name].max_value + 1
+        return size
+
+    @property
+    def can_enumerate_inputs(self) -> bool:
+        return self.input_bits <= self._max_input_bits
+
+    # -- state encoding -----------------------------------------------------------
+
+    def initial_state(self) -> State:
+        values = []
+        for name in self._state_names:
+            signal = self._model.signals[name]
+            values.append(self._model.initial_values.get(name, 0) & signal.mask)
+        return tuple(values)
+
+    def state_dict(self, state: State) -> Dict[str, int]:
+        return dict(zip(self._state_names, state))
+
+    def encode_state(self, values: Dict[str, int]) -> State:
+        return tuple(values.get(name, 0) for name in self._state_names)
+
+    # -- input enumeration -----------------------------------------------------------
+
+    def enumerate_inputs(self) -> Iterator[Dict[str, int]]:
+        """Yield every input valuation (clock excluded)."""
+        if not self._input_names:
+            yield {}
+            return
+        ranges = [
+            range(self._model.signals[name].max_value + 1) for name in self._input_names
+        ]
+        for combo in itertools.product(*ranges):
+            yield dict(zip(self._input_names, combo))
+
+    def sample_inputs(self, rng, count: int) -> Iterator[Dict[str, int]]:
+        """Yield ``count`` random input valuations."""
+        for _ in range(count):
+            yield {
+                name: rng.randint(0, self._model.signals[name].max_value)
+                for name in self._input_names
+            }
+
+    # -- image computation ----------------------------------------------------------
+
+    def settle(self, state: State, inputs: Dict[str, int]) -> Dict[str, int]:
+        """Return the full settled environment for (state, inputs)."""
+        env = {name: 0 for name in self._model.signals}
+        env.update(self.state_dict(state))
+        for name, value in inputs.items():
+            env[name] = value & self._model.signals[name].mask
+        for clock in self._model.clocks:
+            if clock in env:
+                env[clock] = 0
+        self._settle_comb(env)
+        return env
+
+    def step(self, state: State, inputs: Dict[str, int]) -> TransitionStep:
+        """Compute the settled environment and the post-clock next state.
+
+        Results are memoised on (state, input vector): the FPV engine revisits
+        the same transitions many times while checking a batch of assertions.
+        """
+        key = (state, tuple(inputs.get(name, 0) for name in self._input_names))
+        cached = self._step_cache.get(key)
+        if cached is not None:
+            return TransitionStep(env=dict(cached.env), next_state=cached.next_state)
+        step = self._compute_step(state, inputs)
+        if len(self._step_cache) >= self._step_cache_limit:
+            self._step_cache.clear()
+        self._step_cache[key] = TransitionStep(env=dict(step.env), next_state=step.next_state)
+        return step
+
+    def _compute_step(self, state: State, inputs: Dict[str, int]) -> TransitionStep:
+        env = self.settle(state, inputs)
+        next_values: Dict[str, int] = {}
+        for process in self._model.seq_processes:
+            self._executor.run_sequential(process.body, env, next_values)
+        next_state_values = dict(zip(self._state_names, state))
+        for name in self._state_names:
+            if name in next_values:
+                next_state_values[name] = next_values[name]
+        return TransitionStep(env=env, next_state=self.encode_state(next_state_values))
+
+    def _settle_comb(self, env: Dict[str, int], max_iterations: int = 64) -> None:
+        for _ in range(max_iterations):
+            before = dict(env)
+            for assign in self._model.assigns:
+                value = self._evaluator.eval(assign.value, env)
+                self._executor.store(assign.target, value, env, env)
+            for process in self._model.comb_processes:
+                self._executor.run_combinational(process.body, env)
+            if env == before:
+                return
+        # Combinational loops are rejected at simulation time; the engine treats
+        # a non-settling design conservatively by keeping the last environment.
+
+
+@dataclass
+class ReachabilityResult:
+    """Result of (possibly bounded) reachable-state enumeration."""
+
+    states: List[State]
+    complete: bool
+    frontier_exhausted: bool
+    transitions_explored: int
+
+    @property
+    def count(self) -> int:
+        return len(self.states)
+
+
+def enumerate_reachable(
+    system: TransitionSystem,
+    max_states: int = 20000,
+    max_transitions: int = 2_000_000,
+) -> ReachabilityResult:
+    """Breadth-first reachable-state enumeration from the initial state.
+
+    Exploration is exact (every input valuation) when the input space is small
+    enough to enumerate; otherwise the result is marked incomplete and the
+    caller should fall back to simulation-based checking.
+    """
+    if not system.can_enumerate_inputs:
+        return ReachabilityResult(
+            states=[system.initial_state()],
+            complete=False,
+            frontier_exhausted=False,
+            transitions_explored=0,
+        )
+
+    initial = system.initial_state()
+    visited = {initial}
+    order: List[State] = [initial]
+    frontier: List[State] = [initial]
+    transitions = 0
+    complete = True
+
+    while frontier:
+        next_frontier: List[State] = []
+        for state in frontier:
+            for inputs in system.enumerate_inputs():
+                transitions += 1
+                if transitions > max_transitions:
+                    return ReachabilityResult(order, False, False, transitions)
+                step = system.step(state, inputs)
+                if step.next_state not in visited:
+                    visited.add(step.next_state)
+                    order.append(step.next_state)
+                    next_frontier.append(step.next_state)
+                    if len(order) >= max_states:
+                        return ReachabilityResult(order, False, False, transitions)
+        frontier = next_frontier
+
+    return ReachabilityResult(order, complete, True, transitions)

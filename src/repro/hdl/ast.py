@@ -1,0 +1,333 @@
+"""Abstract syntax tree for the Verilog subset.
+
+Expression nodes are shared with the SVA boolean layer (``repro.sva``): an
+assertion's antecedent/consequent propositions are ordinary Verilog
+expressions over design signals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, Union
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+class Expr:
+    """Base class for expression nodes."""
+
+    def signals(self) -> set:
+        """Return the set of identifier names referenced by this expression."""
+        names = set()
+        _collect_signals(self, names)
+        return names
+
+
+@dataclass(frozen=True)
+class Number(Expr):
+    """An integer literal, optionally carrying an explicit bit width."""
+
+    value: int
+    width: Optional[int] = None
+
+    def __str__(self) -> str:
+        if self.width is not None:
+            return f"{self.width}'d{self.value}"
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class Identifier(Expr):
+    """A reference to a named signal or parameter."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class BitSelect(Expr):
+    """A single-bit select ``base[index]``."""
+
+    base: Expr
+    index: Expr
+
+    def __str__(self) -> str:
+        return f"{self.base}[{self.index}]"
+
+
+@dataclass(frozen=True)
+class PartSelect(Expr):
+    """A constant part select ``base[msb:lsb]``."""
+
+    base: Expr
+    msb: Expr
+    lsb: Expr
+
+    def __str__(self) -> str:
+        return f"{self.base}[{self.msb}:{self.lsb}]"
+
+
+@dataclass(frozen=True)
+class Unary(Expr):
+    """A unary operation (``~``, ``!``, ``-``, reduction ``&``/``|``/``^``)."""
+
+    op: str
+    operand: Expr
+
+    def __str__(self) -> str:
+        return f"({self.op}{self.operand})"
+
+
+@dataclass(frozen=True)
+class Binary(Expr):
+    """A binary operation."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class Ternary(Expr):
+    """The conditional operator ``cond ? then : otherwise``."""
+
+    cond: Expr
+    then: Expr
+    otherwise: Expr
+
+    def __str__(self) -> str:
+        return f"({self.cond} ? {self.then} : {self.otherwise})"
+
+
+@dataclass(frozen=True)
+class Concat(Expr):
+    """A concatenation ``{a, b, c}``."""
+
+    parts: Tuple[Expr, ...]
+
+    def __str__(self) -> str:
+        return "{" + ", ".join(str(p) for p in self.parts) + "}"
+
+
+@dataclass(frozen=True)
+class Replicate(Expr):
+    """A replication ``{count{expr}}``."""
+
+    count: Expr
+    value: Expr
+
+    def __str__(self) -> str:
+        return "{" + f"{self.count}{{{self.value}}}" + "}"
+
+
+def _collect_signals(expr: Expr, names: set) -> None:
+    if isinstance(expr, Identifier):
+        names.add(expr.name)
+    elif isinstance(expr, (BitSelect,)):
+        _collect_signals(expr.base, names)
+        _collect_signals(expr.index, names)
+    elif isinstance(expr, PartSelect):
+        _collect_signals(expr.base, names)
+        _collect_signals(expr.msb, names)
+        _collect_signals(expr.lsb, names)
+    elif isinstance(expr, Unary):
+        _collect_signals(expr.operand, names)
+    elif isinstance(expr, Binary):
+        _collect_signals(expr.left, names)
+        _collect_signals(expr.right, names)
+    elif isinstance(expr, Ternary):
+        _collect_signals(expr.cond, names)
+        _collect_signals(expr.then, names)
+        _collect_signals(expr.otherwise, names)
+    elif isinstance(expr, Concat):
+        for part in expr.parts:
+            _collect_signals(part, names)
+    elif isinstance(expr, Replicate):
+        _collect_signals(expr.count, names)
+        _collect_signals(expr.value, names)
+
+
+# ---------------------------------------------------------------------------
+# Statements (procedural code inside always blocks)
+# ---------------------------------------------------------------------------
+
+
+class Stmt:
+    """Base class for procedural statements."""
+
+
+@dataclass
+class Block(Stmt):
+    """A ``begin ... end`` block."""
+
+    statements: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class Assignment(Stmt):
+    """A blocking (``=``) or non-blocking (``<=``) procedural assignment."""
+
+    target: Expr
+    value: Expr
+    blocking: bool = True
+
+
+@dataclass
+class If(Stmt):
+    """An ``if``/``else`` statement."""
+
+    condition: Expr
+    then_body: Stmt
+    else_body: Optional[Stmt] = None
+
+
+@dataclass
+class CaseItem:
+    """One arm of a case statement: one or more label expressions and a body."""
+
+    labels: List[Expr]
+    body: Stmt
+
+
+@dataclass
+class Case(Stmt):
+    """A ``case``/``casez``/``casex`` statement."""
+
+    subject: Expr
+    items: List[CaseItem] = field(default_factory=list)
+    default: Optional[Stmt] = None
+    wildcard: bool = False
+
+
+# ---------------------------------------------------------------------------
+# Module items
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Range:
+    """A declared vector range ``[msb:lsb]`` (values are constant expressions)."""
+
+    msb: Expr
+    lsb: Expr
+
+
+@dataclass
+class PortDecl:
+    """An ``input``/``output``/``inout`` declaration."""
+
+    direction: str
+    names: List[str]
+    range: Optional[Range] = None
+
+
+@dataclass
+class NetDecl:
+    """A ``wire``/``reg``/``integer`` declaration."""
+
+    kind: str
+    names: List[str]
+    range: Optional[Range] = None
+    signed: bool = False
+
+
+@dataclass
+class ParamDecl:
+    """A ``parameter`` or ``localparam`` declaration."""
+
+    name: str
+    value: Expr
+    local: bool = False
+
+
+@dataclass
+class ContinuousAssign:
+    """A continuous assignment ``assign lhs = rhs;``."""
+
+    target: Expr
+    value: Expr
+
+
+@dataclass(frozen=True)
+class EdgeEvent:
+    """A clock-edge item in a sensitivity list (``posedge clk``)."""
+
+    edge: str
+    signal: str
+
+
+@dataclass
+class Sensitivity:
+    """The sensitivity list of an always block.
+
+    ``star`` covers ``@(*)`` / ``@*``; ``edges`` holds posedge/negedge items;
+    ``levels`` holds plain signal names (treated as combinational).
+    """
+
+    star: bool = False
+    edges: List[EdgeEvent] = field(default_factory=list)
+    levels: List[str] = field(default_factory=list)
+
+    @property
+    def is_sequential(self) -> bool:
+        return bool(self.edges)
+
+
+@dataclass
+class AlwaysBlock:
+    """An ``always @(...) ...`` process."""
+
+    sensitivity: Sensitivity
+    body: Stmt
+
+
+@dataclass
+class InitialBlock:
+    """An ``initial ...`` process (used only for register initial values)."""
+
+    body: Stmt
+
+
+ModuleItem = Union[
+    PortDecl, NetDecl, ParamDecl, ContinuousAssign, AlwaysBlock, InitialBlock
+]
+
+
+@dataclass
+class Module:
+    """A parsed Verilog module."""
+
+    name: str
+    port_order: List[str] = field(default_factory=list)
+    header_params: List[ParamDecl] = field(default_factory=list)
+    items: List[ModuleItem] = field(default_factory=list)
+
+    def items_of(self, kind) -> list:
+        """Return all module items of the given AST class."""
+        return [item for item in self.items if isinstance(item, kind)]
+
+
+@dataclass
+class SourceFile:
+    """A parsed source file containing one or more modules."""
+
+    modules: List[Module] = field(default_factory=list)
+
+    def module(self, name: Optional[str] = None) -> Module:
+        """Return the named module, or the first one if no name is given."""
+        if name is None:
+            if not self.modules:
+                raise ValueError("source file contains no modules")
+            return self.modules[0]
+        for mod in self.modules:
+            if mod.name == name:
+                return mod
+        raise KeyError(f"no module named {name!r}")

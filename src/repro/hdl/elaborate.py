@@ -1,0 +1,521 @@
+"""Elaboration of a parsed Verilog module into an RTL model.
+
+Elaboration resolves parameters to constants, computes signal widths,
+classifies signals (inputs, outputs, wires, state registers), and splits the
+module's behaviour into three kinds of processes that the simulator and the
+FPV engine interpret directly:
+
+* continuous assignments (``assign``),
+* combinational always blocks (``always @(*)`` or level-sensitive lists),
+* sequential always blocks (edge-sensitive, with optional asynchronous reset).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from . import ast
+from .errors import ElaborationError, WidthError
+
+_DEFAULT_INTEGER_WIDTH = 32
+
+
+@dataclass
+class Signal:
+    """An elaborated design signal."""
+
+    name: str
+    width: int
+    kind: str  # 'input' | 'output' | 'wire' | 'reg'
+    is_state: bool = False
+    signed: bool = False
+
+    @property
+    def mask(self) -> int:
+        return (1 << self.width) - 1
+
+    @property
+    def max_value(self) -> int:
+        return self.mask
+
+
+@dataclass
+class SeqProcess:
+    """An edge-triggered process (one clocked always block)."""
+
+    clock: str
+    clock_edge: str
+    async_resets: List[ast.EdgeEvent]
+    body: ast.Stmt
+    targets: Set[str] = field(default_factory=set)
+    supports: Set[str] = field(default_factory=set)
+
+
+@dataclass
+class CombProcess:
+    """A level-sensitive (combinational) always block."""
+
+    body: ast.Stmt
+    targets: Set[str] = field(default_factory=set)
+    supports: Set[str] = field(default_factory=set)
+
+
+@dataclass
+class ContAssign:
+    """A continuous assignment."""
+
+    target: ast.Expr
+    value: ast.Expr
+    target_name: str = ""
+    supports: Set[str] = field(default_factory=set)
+
+
+@dataclass
+class RtlModel:
+    """The elaborated design: signals plus interpretable processes."""
+
+    name: str
+    signals: Dict[str, Signal] = field(default_factory=dict)
+    parameters: Dict[str, int] = field(default_factory=dict)
+    inputs: List[str] = field(default_factory=list)
+    outputs: List[str] = field(default_factory=list)
+    state_regs: List[str] = field(default_factory=list)
+    assigns: List[ContAssign] = field(default_factory=list)
+    comb_processes: List[CombProcess] = field(default_factory=list)
+    seq_processes: List[SeqProcess] = field(default_factory=list)
+    initial_values: Dict[str, int] = field(default_factory=dict)
+    clocks: List[str] = field(default_factory=list)
+    resets: List[str] = field(default_factory=list)
+
+    def signal(self, name: str) -> Signal:
+        try:
+            return self.signals[name]
+        except KeyError:
+            raise ElaborationError(f"unknown signal {name!r} in design {self.name!r}")
+
+    @property
+    def non_clock_inputs(self) -> List[str]:
+        """Inputs that are free stimulus (not clocks)."""
+        return [name for name in self.inputs if name not in self.clocks]
+
+    @property
+    def state_bits(self) -> int:
+        """Total number of state (register) bits."""
+        return sum(self.signals[name].width for name in self.state_regs)
+
+    @property
+    def input_bits(self) -> int:
+        """Total number of free-input bits (clock excluded)."""
+        return sum(self.signals[name].width for name in self.non_clock_inputs)
+
+    @property
+    def is_sequential(self) -> bool:
+        return bool(self.seq_processes)
+
+
+class _ConstEvaluator:
+    """Evaluate constant expressions over the parameter environment."""
+
+    def __init__(self, parameters: Dict[str, int]):
+        self._parameters = parameters
+
+    def eval(self, expr: ast.Expr) -> int:
+        if isinstance(expr, ast.Number):
+            return expr.value
+        if isinstance(expr, ast.Identifier):
+            if expr.name in self._parameters:
+                return self._parameters[expr.name]
+            raise ElaborationError(
+                f"expression references non-constant identifier {expr.name!r}"
+            )
+        if isinstance(expr, ast.Unary):
+            value = self.eval(expr.operand)
+            if expr.op == "-":
+                return -value
+            if expr.op == "~":
+                return ~value
+            if expr.op == "!":
+                return int(value == 0)
+            raise ElaborationError(f"unsupported constant unary operator {expr.op!r}")
+        if isinstance(expr, ast.Binary):
+            left = self.eval(expr.left)
+            right = self.eval(expr.right)
+            return _eval_const_binary(expr.op, left, right)
+        if isinstance(expr, ast.Ternary):
+            return self.eval(expr.then) if self.eval(expr.cond) else self.eval(expr.otherwise)
+        raise ElaborationError(f"unsupported constant expression {expr!r}")
+
+
+def _eval_const_binary(op: str, left: int, right: int) -> int:
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    if op == "*":
+        return left * right
+    if op == "/":
+        if right == 0:
+            raise ElaborationError("division by zero in constant expression")
+        return left // right
+    if op == "%":
+        if right == 0:
+            raise ElaborationError("modulo by zero in constant expression")
+        return left % right
+    if op == "**":
+        return left**right
+    if op == "<<":
+        return left << right
+    if op == ">>":
+        return left >> right
+    if op == "&":
+        return left & right
+    if op == "|":
+        return left | right
+    if op == "^":
+        return left ^ right
+    if op == "==":
+        return int(left == right)
+    if op == "!=":
+        return int(left != right)
+    if op == "<":
+        return int(left < right)
+    if op == "<=":
+        return int(left <= right)
+    if op == ">":
+        return int(left > right)
+    if op == ">=":
+        return int(left >= right)
+    if op == "&&":
+        return int(bool(left) and bool(right))
+    if op == "||":
+        return int(bool(left) or bool(right))
+    raise ElaborationError(f"unsupported constant binary operator {op!r}")
+
+
+_CLOCK_NAME_HINTS = ("clk", "clock", "ck")
+_RESET_NAME_HINTS = ("rst", "reset", "clear", "clr")
+
+
+def elaborate(
+    module: ast.Module, parameter_overrides: Optional[Dict[str, int]] = None
+) -> RtlModel:
+    """Elaborate a parsed module into an :class:`RtlModel`.
+
+    ``parameter_overrides`` replaces header/body parameter defaults (the
+    equivalent of instantiating the module with explicit parameter values).
+    """
+    model = RtlModel(name=module.name)
+    overrides = dict(parameter_overrides or {})
+
+    _elaborate_parameters(module, model, overrides)
+    const_eval = _ConstEvaluator(model.parameters)
+    _elaborate_signals(module, model, const_eval)
+    _elaborate_processes(module, model)
+    _elaborate_initial_values(module, model, const_eval)
+    _classify_clocks_and_resets(model)
+    _check_drivers(model)
+    return model
+
+
+def _elaborate_parameters(
+    module: ast.Module, model: RtlModel, overrides: Dict[str, int]
+) -> None:
+    decls = list(module.header_params)
+    decls.extend(module.items_of(ast.ParamDecl))
+    for decl in decls:
+        const_eval = _ConstEvaluator(model.parameters)
+        if decl.name in overrides and not decl.local:
+            model.parameters[decl.name] = int(overrides[decl.name])
+        else:
+            model.parameters[decl.name] = const_eval.eval(decl.value)
+    unknown = set(overrides) - set(model.parameters)
+    if unknown:
+        raise ElaborationError(
+            f"parameter overrides for unknown parameters: {sorted(unknown)}"
+        )
+
+
+def _range_width(rng: Optional[ast.Range], const_eval: _ConstEvaluator) -> int:
+    if rng is None:
+        return 1
+    msb = const_eval.eval(rng.msb)
+    lsb = const_eval.eval(rng.lsb)
+    width = abs(msb - lsb) + 1
+    if width <= 0:
+        raise WidthError(f"invalid range [{msb}:{lsb}]")
+    return width
+
+
+def _elaborate_signals(
+    module: ast.Module, model: RtlModel, const_eval: _ConstEvaluator
+) -> None:
+    directions: Dict[str, str] = {}
+    widths: Dict[str, int] = {}
+    regs: Set[str] = set()
+    signed: Set[str] = set()
+
+    for item in module.items_of(ast.PortDecl):
+        width = _range_width(item.range, const_eval)
+        for name in item.names:
+            directions[name] = item.direction
+            widths[name] = max(widths.get(name, 1), width)
+
+    for item in module.items_of(ast.NetDecl):
+        if item.kind == "integer":
+            width = _DEFAULT_INTEGER_WIDTH
+        else:
+            width = _range_width(item.range, const_eval)
+        for name in item.names:
+            widths[name] = max(widths.get(name, 1), width)
+            if item.kind in ("reg", "integer"):
+                regs.add(name)
+            if item.signed:
+                signed.add(name)
+
+    for name in module.port_order:
+        if name not in directions:
+            raise ElaborationError(
+                f"port {name!r} listed in header but never declared", 0, 0
+            )
+
+    for name, width in widths.items():
+        direction = directions.get(name)
+        if direction == "input":
+            kind = "input"
+        elif direction == "output":
+            kind = "output"
+        elif direction == "inout":
+            kind = "output"
+        elif name in regs:
+            kind = "reg"
+        else:
+            kind = "wire"
+        model.signals[name] = Signal(
+            name=name, width=width, kind=kind, signed=name in signed
+        )
+        if kind == "input":
+            model.inputs.append(name)
+        elif kind == "output":
+            model.outputs.append(name)
+
+    # Keep declaration order stable for inputs/outputs as listed in the header.
+    if module.port_order:
+        order = {name: idx for idx, name in enumerate(module.port_order)}
+        model.inputs.sort(key=lambda n: order.get(n, len(order)))
+        model.outputs.sort(key=lambda n: order.get(n, len(order)))
+
+
+def _stmt_targets(stmt: ast.Stmt) -> Set[str]:
+    targets: Set[str] = set()
+    _collect_stmt_targets(stmt, targets)
+    return targets
+
+
+def _collect_stmt_targets(stmt: ast.Stmt, targets: Set[str]) -> None:
+    if isinstance(stmt, ast.Block):
+        for inner in stmt.statements:
+            _collect_stmt_targets(inner, targets)
+    elif isinstance(stmt, ast.Assignment):
+        targets.update(_lvalue_names(stmt.target))
+    elif isinstance(stmt, ast.If):
+        _collect_stmt_targets(stmt.then_body, targets)
+        if stmt.else_body is not None:
+            _collect_stmt_targets(stmt.else_body, targets)
+    elif isinstance(stmt, ast.Case):
+        for item in stmt.items:
+            _collect_stmt_targets(item.body, targets)
+        if stmt.default is not None:
+            _collect_stmt_targets(stmt.default, targets)
+
+
+def _lvalue_names(expr: ast.Expr) -> Set[str]:
+    if isinstance(expr, ast.Identifier):
+        return {expr.name}
+    if isinstance(expr, (ast.BitSelect, ast.PartSelect)):
+        return _lvalue_names(expr.base)
+    if isinstance(expr, ast.Concat):
+        names: Set[str] = set()
+        for part in expr.parts:
+            names.update(_lvalue_names(part))
+        return names
+    raise ElaborationError(f"unsupported assignment target {expr!r}")
+
+
+def _stmt_supports(stmt: ast.Stmt) -> Set[str]:
+    supports: Set[str] = set()
+    _collect_stmt_supports(stmt, supports)
+    return supports
+
+
+def _collect_stmt_supports(stmt: ast.Stmt, supports: Set[str]) -> None:
+    if isinstance(stmt, ast.Block):
+        for inner in stmt.statements:
+            _collect_stmt_supports(inner, supports)
+    elif isinstance(stmt, ast.Assignment):
+        supports.update(stmt.value.signals())
+        # Index expressions of the target are also read.
+        target = stmt.target
+        if isinstance(target, ast.BitSelect):
+            supports.update(target.index.signals())
+        elif isinstance(target, ast.PartSelect):
+            supports.update(target.msb.signals())
+            supports.update(target.lsb.signals())
+    elif isinstance(stmt, ast.If):
+        supports.update(stmt.condition.signals())
+        _collect_stmt_supports(stmt.then_body, supports)
+        if stmt.else_body is not None:
+            _collect_stmt_supports(stmt.else_body, supports)
+    elif isinstance(stmt, ast.Case):
+        supports.update(stmt.subject.signals())
+        for item in stmt.items:
+            for label in item.labels:
+                supports.update(label.signals())
+            _collect_stmt_supports(item.body, supports)
+        if stmt.default is not None:
+            _collect_stmt_supports(stmt.default, supports)
+
+
+def _first_if_condition_signals(stmt: ast.Stmt) -> Set[str]:
+    body = stmt
+    while isinstance(body, ast.Block) and body.statements:
+        body = body.statements[0]
+    if isinstance(body, ast.If):
+        return body.condition.signals()
+    return set()
+
+
+def _elaborate_processes(module: ast.Module, model: RtlModel) -> None:
+    for item in module.items_of(ast.ContinuousAssign):
+        names = _lvalue_names(item.target)
+        if len(names) != 1:
+            raise ElaborationError("continuous assign target must be a single signal")
+        target_name = next(iter(names))
+        if target_name not in model.signals:
+            raise ElaborationError(f"assignment to undeclared signal {target_name!r}")
+        supports = set(item.value.signals()) & set(model.signals)
+        model.assigns.append(
+            ContAssign(
+                target=item.target,
+                value=item.value,
+                target_name=target_name,
+                supports=supports,
+            )
+        )
+
+    for item in module.items_of(ast.AlwaysBlock):
+        targets = _stmt_targets(item.body)
+        unknown = targets - set(model.signals)
+        if unknown:
+            raise ElaborationError(
+                f"always block assigns undeclared signals: {sorted(unknown)}"
+            )
+        supports = _stmt_supports(item.body) & set(model.signals)
+        if item.sensitivity.is_sequential:
+            process = _build_seq_process(item, model)
+            process.targets = targets
+            process.supports = supports
+            model.seq_processes.append(process)
+            for name in sorted(targets):
+                signal = model.signals[name]
+                signal.is_state = True
+                if name not in model.state_regs:
+                    model.state_regs.append(name)
+        else:
+            model.comb_processes.append(
+                CombProcess(body=item.body, targets=targets, supports=supports)
+            )
+
+
+def _build_seq_process(item: ast.AlwaysBlock, model: RtlModel) -> SeqProcess:
+    edges = item.sensitivity.edges
+    reset_candidates = _first_if_condition_signals(item.body)
+    clock_edges = []
+    reset_edges = []
+    for edge in edges:
+        if edge.signal not in model.signals:
+            raise ElaborationError(f"sensitivity references undeclared signal {edge.signal!r}")
+        is_reset_like = edge.signal in reset_candidates or any(
+            hint in edge.signal.lower() for hint in _RESET_NAME_HINTS
+        )
+        is_clock_like = any(hint in edge.signal.lower() for hint in _CLOCK_NAME_HINTS)
+        if is_clock_like and not is_reset_like:
+            clock_edges.append(edge)
+        elif is_reset_like and len(edges) > 1:
+            reset_edges.append(edge)
+        else:
+            clock_edges.append(edge)
+    if not clock_edges:
+        # Every edge looked like a reset; treat the first as the clock.
+        clock_edges = [edges[0]]
+        reset_edges = [e for e in edges[1:]]
+    clock = clock_edges[0]
+    return SeqProcess(
+        clock=clock.signal,
+        clock_edge=clock.edge,
+        async_resets=reset_edges,
+        body=item.body,
+    )
+
+
+def _elaborate_initial_values(
+    module: ast.Module, model: RtlModel, const_eval: _ConstEvaluator
+) -> None:
+    for item in module.items_of(ast.InitialBlock):
+        for stmt in _flatten_statements(item.body):
+            if not isinstance(stmt, ast.Assignment):
+                raise ElaborationError("initial blocks may only contain assignments")
+            names = _lvalue_names(stmt.target)
+            if len(names) != 1:
+                raise ElaborationError("initial assignment target must be a single signal")
+            name = next(iter(names))
+            model.initial_values[name] = const_eval.eval(stmt.value)
+
+
+def _flatten_statements(stmt: ast.Stmt) -> List[ast.Stmt]:
+    if isinstance(stmt, ast.Block):
+        result = []
+        for inner in stmt.statements:
+            result.extend(_flatten_statements(inner))
+        return result
+    return [stmt]
+
+
+def _classify_clocks_and_resets(model: RtlModel) -> None:
+    clocks: List[str] = []
+    resets: List[str] = []
+    for process in model.seq_processes:
+        if process.clock not in clocks:
+            clocks.append(process.clock)
+        for edge in process.async_resets:
+            if edge.signal not in resets:
+                resets.append(edge.signal)
+    if not clocks:
+        # Pure combinational designs may still declare a clock-like input for
+        # uniform stimulus handling; detect it by name.
+        for name in model.inputs:
+            if any(hint in name.lower() for hint in _CLOCK_NAME_HINTS):
+                clocks.append(name)
+                break
+    model.clocks = clocks
+    model.resets = [r for r in resets if r in model.signals]
+
+
+def _check_drivers(model: RtlModel) -> None:
+    comb_driven: Dict[str, int] = {}
+    for assign in model.assigns:
+        comb_driven[assign.target_name] = comb_driven.get(assign.target_name, 0) + 1
+    seq_targets: Set[str] = set()
+    for process in model.seq_processes:
+        seq_targets.update(process.targets)
+    comb_targets: Set[str] = set()
+    for process in model.comb_processes:
+        comb_targets.update(process.targets)
+    conflict = seq_targets & (set(comb_driven) | comb_targets)
+    if conflict:
+        raise ElaborationError(
+            f"signals driven both sequentially and combinationally: {sorted(conflict)}"
+        )
+    for name in model.inputs:
+        if name in seq_targets or name in comb_targets or name in comb_driven:
+            raise ElaborationError(f"input signal {name!r} must not be driven internally")

@@ -1,0 +1,44 @@
+"""Error types raised by the Verilog frontend.
+
+The frontend distinguishes lexical, syntactic, and elaboration errors so that
+callers (the FPV engine, the benchmark loader, the evaluation pipeline) can
+classify a failing design or assertion precisely.
+"""
+
+from __future__ import annotations
+
+
+class HdlError(Exception):
+    """Base class for all errors raised by the ``repro.hdl`` package."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        super().__init__(message)
+        self.message = message
+        self.line = line
+        self.column = column
+
+    def __str__(self) -> str:
+        if self.line:
+            return f"{self.message} (line {self.line}, col {self.column})"
+        return self.message
+
+
+class LexError(HdlError):
+    """Raised when the source text contains an unrecognised character."""
+
+
+class ParseError(HdlError):
+    """Raised when the token stream does not form a valid Verilog subset."""
+
+
+class ElaborationError(HdlError):
+    """Raised when a syntactically valid module cannot be elaborated.
+
+    Typical causes: references to undeclared signals, unsupported constructs,
+    parameter expressions that do not evaluate to constants, or multiply
+    driven registers.
+    """
+
+
+class WidthError(ElaborationError):
+    """Raised when widths of operands cannot be reconciled."""

@@ -1,0 +1,90 @@
+"""Source-code metrics for Verilog designs.
+
+The paper characterises its test set by lines of code excluding blanks and
+comments, "as measured by cloc" (Figure 3, Table I).  :func:`count_loc`
+reproduces that measurement for the subset grammar.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SourceMetrics:
+    """Line counts for one Verilog source file."""
+
+    total_lines: int
+    blank_lines: int
+    comment_lines: int
+    code_lines: int
+
+
+def count_loc(source: str) -> int:
+    """Return the number of code lines, excluding blanks and comments."""
+    return analyze_source(source).code_lines
+
+
+def analyze_source(source: str) -> SourceMetrics:
+    """Classify each line of ``source`` as blank, comment, or code.
+
+    A line that contains both code and a trailing ``//`` comment counts as
+    code.  Block comments (``/* ... */``) may span lines; lines that are
+    entirely inside a block comment count as comment lines.
+    """
+    total = 0
+    blank = 0
+    comment = 0
+    code = 0
+    in_block_comment = False
+
+    for raw_line in source.splitlines():
+        total += 1
+        line = raw_line.strip()
+        if in_block_comment:
+            end = line.find("*/")
+            if end < 0:
+                comment += 1
+                continue
+            line = line[end + 2:].strip()
+            in_block_comment = False
+            if not line:
+                comment += 1
+                continue
+        if not line:
+            blank += 1
+            continue
+        stripped, became_block = _strip_comments(line)
+        in_block_comment = became_block
+        if stripped:
+            code += 1
+        else:
+            comment += 1
+
+    return SourceMetrics(
+        total_lines=total, blank_lines=blank, comment_lines=comment, code_lines=code
+    )
+
+
+def _strip_comments(line: str):
+    """Remove ``//`` and ``/* */`` comments from a single line.
+
+    Returns the remaining code text and whether the line opens an
+    unterminated block comment.
+    """
+    result = []
+    i = 0
+    in_block = False
+    while i < len(line):
+        if line.startswith("//", i):
+            break
+        if line.startswith("/*", i):
+            end = line.find("*/", i + 2)
+            if end < 0:
+                in_block = True
+                break
+            i = end + 2
+            continue
+        result.append(line[i])
+        i += 1
+    return "".join(result).strip(), in_block

@@ -1,0 +1,66 @@
+"""LLM substrate: prompts, decoding, simulated COTS models, AssertionLLM."""
+
+from .assertion_llm import AssertionLLM, LearnedStatistics, TrainingExample, learn_statistics
+from .cots import AssertionGenerator, SimulatedCotsLLM, build_cots_models
+from .decoding import DecodingConfig, GenerationResult, enforce_token_limit
+from .finetune import FineTuner, FineTuningConfig, FineTuningReport, competence_from, split_designs
+from .profiles import (
+    CEX,
+    CODELLAMA_2,
+    COTS_PROFILES,
+    FINETUNED_CODELLAMA_2,
+    FINETUNED_LLAMA3_70B,
+    FINETUNED_PROFILES,
+    GPT_35,
+    GPT_4O,
+    LLAMA3_70B,
+    SYNTAX_ERROR,
+    VALID,
+    ModelProfile,
+    OutcomeMix,
+    profile_by_name,
+)
+from .prompt import TASK_DESCRIPTION, InContextExample, Prompt, PromptBuilder, flatten_verilog
+from .tokenizer import NgramModel, count_tokens, ngrams, token_histogram, tokenize_text
+
+__all__ = [
+    "AssertionGenerator",
+    "AssertionLLM",
+    "CEX",
+    "CODELLAMA_2",
+    "COTS_PROFILES",
+    "DecodingConfig",
+    "FINETUNED_CODELLAMA_2",
+    "FINETUNED_LLAMA3_70B",
+    "FINETUNED_PROFILES",
+    "FineTuner",
+    "FineTuningConfig",
+    "FineTuningReport",
+    "GPT_35",
+    "GPT_4O",
+    "GenerationResult",
+    "InContextExample",
+    "LLAMA3_70B",
+    "LearnedStatistics",
+    "ModelProfile",
+    "NgramModel",
+    "OutcomeMix",
+    "Prompt",
+    "PromptBuilder",
+    "SYNTAX_ERROR",
+    "SimulatedCotsLLM",
+    "TASK_DESCRIPTION",
+    "TrainingExample",
+    "VALID",
+    "build_cots_models",
+    "competence_from",
+    "count_tokens",
+    "enforce_token_limit",
+    "flatten_verilog",
+    "learn_statistics",
+    "ngrams",
+    "profile_by_name",
+    "split_designs",
+    "token_histogram",
+    "tokenize_text",
+]

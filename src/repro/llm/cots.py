@@ -1,0 +1,306 @@
+"""Simulated commercial-off-the-shelf LLMs for assertion generation.
+
+Each simulated model reads the same k-shot prompt a real model would receive
+(Figure 5), inspects the test design it contains, and emits a list of
+candidate SVA strings.  The *mechanism* is real — candidates are built from
+the design's actual signals, verified pool entries, and realistic corruption
+and formatting noise — while the *intended outcome mix* per model and k-shot
+setting comes from the calibrated profiles in :mod:`repro.llm.profiles`
+(see DESIGN.md for the substitution rationale).  Whatever the model emits is
+then judged by the genuine corrector + FPV pipeline, so measured numbers are
+close to, but not identical to, the intended mix — exactly as a measurement
+of a black-box generator behaves.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..bench.knowledge import DesignKnowledgeBase
+from ..hdl import ast
+from ..hdl.design import Design
+from ..sva.model import NON_OVERLAPPED, OVERLAPPED, Assertion, SequenceTerm
+from .decoding import DecodingConfig, GenerationResult, enforce_token_limit
+from .profiles import CEX, SYNTAX_ERROR, VALID, ModelProfile
+from .prompt import Prompt
+
+#: Plausible-but-wrong signal names appended by confused generators.
+_PHANTOM_SIGNALS = (
+    "xmit_hold_q",
+    "cfg_shadow_word",
+    "pkt_drop_cnt_q",
+    "dbg_scan_chain",
+    "phy_rx_er_i",
+    "wb_cyc_stb_o",
+    "bist_fail_lat",
+    "csr_wdata_q",
+    "dma_burst_len",
+    "ecc_synd_word",
+)
+
+_OFF_LANGUAGE_SNIPPETS = (
+    "public static void checkAssertion(String signal) { return signal != null; }",
+    "def check_assertion(signal): return signal is not None",
+    "for (int i = 0; i < 8; i++) { assert(data[i] >= 0); }",
+    "System.out.println(\"assertion generated\");",
+)
+
+_UNSUPPORTED_SVA_SNIPPETS = (
+    "s_eventually ({sig} == 1);",
+    "({sig} == 1)[*2] |-> ({other} == 0);",
+    "first_match(({sig} == 1) ##[1:3] ({other} == 1)) |-> ({sig} == 0);",
+    "({sig} == 1) throughout ({other} == 0) |-> ({sig} == 1);",
+)
+
+
+@dataclass
+class GenerationContext:
+    """Everything a simulated model knows while answering one prompt."""
+
+    design: Design
+    k: int
+    rng: random.Random
+    pool: List[Assertion] = field(default_factory=list)
+
+
+class AssertionGenerator:
+    """Interface shared by simulated COTS models and the fine-tuned model."""
+
+    name: str = "generator"
+
+    def generate(self, prompt: Prompt, config: DecodingConfig) -> GenerationResult:
+        raise NotImplementedError
+
+
+class SimulatedCotsLLM(AssertionGenerator):
+    """A profile-driven stand-in for one commercial LLM."""
+
+    def __init__(
+        self,
+        profile: ModelProfile,
+        knowledge: Optional[DesignKnowledgeBase] = None,
+    ):
+        self.profile = profile
+        self.name = profile.name
+        self._knowledge = knowledge or DesignKnowledgeBase()
+
+    # -- public API ------------------------------------------------------------
+
+    def generate(self, prompt: Prompt, config: DecodingConfig) -> GenerationResult:
+        """Produce raw assertion text for the prompt's test design."""
+        design = prompt.test_design
+        rng = self._rng_for(design, prompt.k, config)
+        context = GenerationContext(
+            design=design,
+            k=prompt.k,
+            rng=rng,
+            pool=self._knowledge.verified_assertions(design),
+        )
+
+        if rng.random() < self.profile.empty_generation_probability:
+            return GenerationResult(model_name=self.name, lines=[], prompt_tokens=prompt.token_count)
+
+        count = rng.randint(*self.profile.assertions_per_design)
+        mix = self.profile.mix_for(prompt.k).as_dict()
+        lines: List[str] = []
+        for category in self._allocate_categories(mix, count, rng):
+            lines.append(self._emit(category, context))
+
+        lines, truncated = enforce_token_limit(lines, config.max_output_tokens)
+        return GenerationResult(
+            model_name=self.name,
+            lines=lines,
+            truncated=truncated,
+            prompt_tokens=prompt.token_count,
+        )
+
+    # -- category sampling ---------------------------------------------------------
+
+    def _rng_for(self, design: Design, k: int, config: DecodingConfig) -> random.Random:
+        return random.Random(f"{config.seed}|{self.name}|{design.name}|{k}")
+
+    def _sample_category(self, mix: Dict[str, float], rng: random.Random) -> str:
+        roll = rng.random()
+        cumulative = 0.0
+        for category in (VALID, CEX, SYNTAX_ERROR):
+            cumulative += mix[category]
+            if roll <= cumulative:
+                return category
+        return SYNTAX_ERROR
+
+    def _allocate_categories(
+        self, mix: Dict[str, float], count: int, rng: random.Random
+    ) -> List[str]:
+        """Stratified category allocation (largest-remainder) plus shuffling.
+
+        Sampling categories independently per assertion makes small-sample
+        runs (a handful of designs) extremely noisy; allocating counts per
+        category first keeps each generation close to the model's intended
+        outcome mix while the residual fraction is still sampled randomly.
+        """
+        allocations: List[str] = []
+        remainders: List[tuple] = []
+        assigned = 0
+        for category in (VALID, CEX, SYNTAX_ERROR):
+            exact = mix[category] * count
+            whole = int(exact)
+            allocations.extend([category] * whole)
+            assigned += whole
+            remainders.append((exact - whole, category))
+        remainders.sort(reverse=True)
+        index = 0
+        while assigned < count:
+            weight, category = remainders[index % len(remainders)]
+            if weight > 0 and rng.random() < max(weight, 0.34):
+                allocations.append(category)
+                assigned += 1
+            index += 1
+            if index > 12:
+                allocations.append(self._sample_category(mix, rng))
+                assigned += 1
+        rng.shuffle(allocations)
+        return allocations
+
+    # -- emission per category ---------------------------------------------------------
+
+    def _emit(self, category: str, context: GenerationContext) -> str:
+        if category == VALID:
+            return self._emit_valid(context)
+        if category == CEX:
+            return self._emit_cex(context)
+        return self._emit_error(context)
+
+    def _emit_valid(self, context: GenerationContext) -> str:
+        """An assertion intended to be proven by the FPV engine."""
+        if context.pool:
+            assertion = context.rng.choice(context.pool)
+            return self._render(assertion, context, allow_soft_noise=True)
+        return self._render_tautology(context)
+
+    def _emit_cex(self, context: GenerationContext) -> str:
+        """An assertion intended to fail with a counterexample."""
+        if context.pool:
+            base = context.rng.choice(context.pool)
+            corrupted = self._corrupt_semantics(base, context)
+            return self._render(corrupted, context, allow_soft_noise=True)
+        return self._render_fabricated_failure(context)
+
+    def _emit_error(self, context: GenerationContext) -> str:
+        """Text intended to remain unparseable/unbindable after correction."""
+        rng = context.rng
+        if rng.random() < self.profile.off_language_probability:
+            return rng.choice(_OFF_LANGUAGE_SNIPPETS)
+        if rng.random() < self.profile.unfixable_error_bias:
+            flavour = rng.random()
+            sig, other = self._two_signals(context)
+            if flavour < 0.4:
+                template = rng.choice(_UNSUPPORTED_SVA_SNIPPETS)
+                return template.format(sig=sig, other=other)
+            if flavour < 0.8:
+                phantom = rng.choice(_PHANTOM_SIGNALS)
+                return f"({phantom} == 1) |-> ({sig} == 0);"
+            return f"assert property (({sig} == ##) |-> ({other};"
+        # A "soft" error: near-miss syntax the corrector may well repair; it
+        # then lands in whichever semantic bucket the repaired assertion earns.
+        sig, other = self._two_signals(context)
+        return f"({sig} = 1) -> ({other} = 0)"
+
+    # -- rendering helpers -----------------------------------------------------------------
+
+    def _render(
+        self, assertion: Assertion, context: GenerationContext, allow_soft_noise: bool
+    ) -> str:
+        rng = context.rng
+        style = rng.random()
+        if style < 0.4:
+            text = assertion.to_sva(include_assert=False)
+        elif style < 0.7:
+            text = assertion.to_sva(include_assert=True)
+        else:
+            stripped = Assertion(
+                antecedent=assertion.antecedent,
+                consequent=assertion.consequent,
+                implication=assertion.implication,
+                clock=None,
+                name="",
+            )
+            text = stripped.to_sva(include_assert=False)
+        if allow_soft_noise and rng.random() < 0.15:
+            text = text.replace("|->", "->").replace("|=>", "=>")
+        return text
+
+    def _render_tautology(self, context: GenerationContext) -> str:
+        """A trivially true assertion over a real design signal."""
+        name = self._one_signal(context)
+        width = context.design.model.signals[name].width
+        max_value = (1 << width) - 1
+        return f"({name} <= {max_value}) |-> ({name} == {name});"
+
+    def _render_fabricated_failure(self, context: GenerationContext) -> str:
+        sig, other = self._two_signals(context)
+        width = context.design.model.signals[other].width
+        impossible = (1 << width) - 1 if width > 1 else 1
+        return f"({sig} == 0) |-> ({other} == {impossible});"
+
+    def _corrupt_semantics(
+        self, assertion: Assertion, context: GenerationContext
+    ) -> Assertion:
+        """Make a verified assertion semantically wrong."""
+        rng = context.rng
+        consequent = list(assertion.consequent)
+        index = rng.randrange(len(consequent))
+        term = consequent[index]
+        choice = rng.random()
+        if choice < 0.6:
+            corrupted_expr: ast.Expr = ast.Unary("!", term.expr)
+        elif choice < 0.85 and isinstance(term.expr, ast.Binary) and isinstance(
+            term.expr.right, ast.Number
+        ):
+            corrupted_expr = ast.Binary(
+                term.expr.op,
+                term.expr.left,
+                ast.Number(term.expr.right.value + 1),
+            )
+        else:
+            other = self._one_signal(context)
+            corrupted_expr = ast.Binary("==", ast.Identifier(other), ast.Number(0))
+            if isinstance(term.expr, ast.Binary):
+                corrupted_expr = ast.Binary(
+                    "==", ast.Identifier(other), ast.Unary("!", term.expr)
+                )
+        consequent[index] = SequenceTerm(term.offset, corrupted_expr)
+        return Assertion(
+            antecedent=list(assertion.antecedent),
+            consequent=consequent,
+            implication=assertion.implication,
+            clock=assertion.clock,
+        )
+
+    def _signal_candidates(self, context: GenerationContext) -> List[str]:
+        model = context.design.model
+        names = [
+            name
+            for name in model.signals
+            if name not in model.clocks and name not in model.resets
+        ]
+        return names or list(model.signals)
+
+    def _one_signal(self, context: GenerationContext) -> str:
+        return context.rng.choice(self._signal_candidates(context))
+
+    def _two_signals(self, context: GenerationContext) -> (str, str):
+        candidates = self._signal_candidates(context)
+        first = context.rng.choice(candidates)
+        second = context.rng.choice(candidates)
+        return first, second
+
+
+def build_cots_models(
+    profiles: Sequence[ModelProfile],
+    knowledge: Optional[DesignKnowledgeBase] = None,
+) -> List[SimulatedCotsLLM]:
+    """Instantiate simulated models sharing one knowledge base."""
+    shared = knowledge or DesignKnowledgeBase()
+    return [SimulatedCotsLLM(profile, shared) for profile in profiles]

@@ -1,0 +1,90 @@
+"""Prompt construction for k-shot in-context learning (paper Figure 5).
+
+A prompt has four parts: (i) an English task description, (ii) ``k`` example
+Verilog designs with newlines and comments removed, (iii) the formally
+verified assertions of each example in SVA format, and (iv) the test design
+(also flattened) for which assertions must be generated.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..hdl.design import Design
+from ..sva.model import Assertion
+from .tokenizer import count_tokens
+
+TASK_DESCRIPTION = (
+    "You are an expert in SystemVerilog Assertions. "
+    "Your task is to generate the list of assertions to the given verilog design. "
+    "An example is shown below. Generate only the list of assertions for the test "
+    "program with no additional text."
+)
+
+
+def flatten_verilog(source: str) -> str:
+    """Remove comments and newlines from Verilog source (Figure 5 format)."""
+    no_block = re.sub(r"/\*.*?\*/", " ", source, flags=re.DOTALL)
+    no_line = re.sub(r"//[^\n]*", " ", no_block)
+    return re.sub(r"\s+", " ", no_line).strip()
+
+
+@dataclass
+class InContextExample:
+    """One ICE tuple: a design and its formally verified assertions."""
+
+    design: Design
+    assertions: List[Assertion] = field(default_factory=list)
+
+    @property
+    def assertion_texts(self) -> List[str]:
+        return [assertion.to_sva(include_assert=False) for assertion in self.assertions]
+
+
+@dataclass
+class Prompt:
+    """A fully rendered k-shot prompt."""
+
+    task_description: str
+    examples: List[InContextExample]
+    test_design: Design
+    text: str
+
+    @property
+    def k(self) -> int:
+        return len(self.examples)
+
+    @property
+    def token_count(self) -> int:
+        return count_tokens(self.text)
+
+
+class PromptBuilder:
+    """Render prompts in the paper's Figure 5 format."""
+
+    def __init__(self, task_description: str = TASK_DESCRIPTION):
+        self._task_description = task_description
+
+    def build(
+        self, examples: Sequence[InContextExample], test_design: Design
+    ) -> Prompt:
+        """Build a k-shot prompt from ``examples`` and the test design."""
+        sections: List[str] = [self._task_description]
+        for index, example in enumerate(examples, start=1):
+            sections.append(
+                f"Program {index}: {flatten_verilog(example.design.source)}"
+            )
+            assertions = " ".join(example.assertion_texts)
+            sections.append(f"Assertions {index}: {assertions}")
+        sections.append("Test Program:")
+        sections.append(flatten_verilog(test_design.source))
+        sections.append("Test Assertions:")
+        text = "\n".join(sections)
+        return Prompt(
+            task_description=self._task_description,
+            examples=list(examples),
+            test_design=test_design,
+            text=text,
+        )

@@ -1,0 +1,148 @@
+"""Trace-derived datasets for assertion mining.
+
+Both miners (GoldMine-style and HARM-style) operate on tabular data extracted
+from simulation traces: rows are clock cycles, columns are *atomic
+propositions* over candidate signals (``sig == value`` for small-domain
+signals, ``sig[bit] == value`` for wide ones), and the label column is the
+proposition being explained (e.g. ``gnt1 == 1``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..analysis import coi_features
+from ..hdl import ast
+from ..hdl.design import Design
+from ..sim.trace import Trace
+
+#: Signals with at most this many distinct values get equality atoms per value.
+_MAX_ENUM_VALUES = 8
+#: Wide signals contribute at most this many per-bit atoms.
+_MAX_BIT_ATOMS = 4
+
+
+@dataclass(frozen=True)
+class Atom:
+    """An atomic proposition over one design signal."""
+
+    signal: str
+    value: int
+    bit: Optional[int] = None
+
+    def expr(self) -> ast.Expr:
+        """Render the atom as a Verilog boolean expression."""
+        if self.bit is None:
+            return ast.Binary("==", ast.Identifier(self.signal), ast.Number(self.value))
+        return ast.Binary(
+            "==",
+            ast.BitSelect(ast.Identifier(self.signal), ast.Number(self.bit)),
+            ast.Number(self.value),
+        )
+
+    def evaluate(self, row: Dict[str, int]) -> bool:
+        raw = row.get(self.signal, 0)
+        if self.bit is not None:
+            raw = (raw >> self.bit) & 1
+        return raw == self.value
+
+    def __str__(self) -> str:
+        return str(self.expr())
+
+
+@dataclass
+class MiningDataset:
+    """Feature matrix for one target proposition."""
+
+    design_name: str
+    target: Atom
+    features: List[Atom]
+    rows: List[Tuple[Tuple[bool, ...], bool]] = field(default_factory=list)
+    delay: int = 0
+
+    @property
+    def num_rows(self) -> int:
+        return len(self.rows)
+
+    @property
+    def positives(self) -> int:
+        return sum(1 for _, label in self.rows if label)
+
+    def feature_column(self, index: int) -> List[bool]:
+        return [row[index] for row, _ in self.rows]
+
+    def labels(self) -> List[bool]:
+        return [label for _, label in self.rows]
+
+
+def candidate_atoms(design: Design, signal: str) -> List[Atom]:
+    """Enumerate the equality atoms used as features/targets for one signal."""
+    model = design.model
+    width = model.signals[signal].width
+    if width == 1:
+        return [Atom(signal, 0), Atom(signal, 1)]
+    domain = min(1 << width, _MAX_ENUM_VALUES)
+    if (1 << width) <= _MAX_ENUM_VALUES:
+        return [Atom(signal, value) for value in range(domain)]
+    atoms = []
+    for bit in range(min(width, _MAX_BIT_ATOMS)):
+        atoms.append(Atom(signal, 0, bit=bit))
+        atoms.append(Atom(signal, 1, bit=bit))
+    return atoms
+
+
+def trace_atoms(design: Design, signal: str, trace: Trace) -> List[Atom]:
+    """Like :func:`candidate_atoms` but restricted to values seen in the trace."""
+    model = design.model
+    width = model.signals[signal].width
+    observed = trace.distinct_values(signal)
+    if width == 1 or len(observed) <= _MAX_ENUM_VALUES:
+        return [Atom(signal, value) for value in observed]
+    atoms = []
+    for bit in range(min(width, _MAX_BIT_ATOMS)):
+        atoms.append(Atom(signal, 0, bit=bit))
+        atoms.append(Atom(signal, 1, bit=bit))
+    return atoms
+
+
+def build_dataset(
+    design: Design,
+    trace: Trace,
+    target: Atom,
+    feature_signals: Optional[Sequence[str]] = None,
+    delay: int = 0,
+) -> MiningDataset:
+    """Build the feature matrix explaining ``target`` from ``trace``.
+
+    ``delay`` shifts the target ``delay`` cycles after the features, producing
+    data for next-cycle (``|=>``-style) assertions on registered targets.
+    """
+    if feature_signals is None:
+        feature_signals = coi_features(design, target.signal)
+    features: List[Atom] = []
+    for name in feature_signals:
+        if name == target.signal:
+            continue
+        features.extend(trace_atoms(design, name, trace))
+
+    dataset = MiningDataset(
+        design_name=design.name, target=target, features=features, delay=delay
+    )
+    last_row = trace.num_cycles - delay
+    for cycle in range(last_row):
+        row = trace.row(cycle)
+        label_row = trace.row(cycle + delay)
+        values = tuple(atom.evaluate(row) for atom in features)
+        dataset.rows.append((values, target.evaluate(label_row)))
+    return dataset
+
+
+def mining_targets(design: Design) -> List[str]:
+    """Signals worth explaining: primary outputs first, then state registers."""
+    model = design.model
+    targets = [name for name in model.outputs if name not in model.clocks]
+    for name in model.state_regs:
+        if name not in targets:
+            targets.append(name)
+    return targets

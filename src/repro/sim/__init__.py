@@ -1,0 +1,34 @@
+"""Cycle-accurate simulation: evaluation, stimulus, traces, VCD export."""
+
+from .eval import EvalError, ExprEvaluator, StatementExecutor
+from .simulator import CombinationalLoopError, Simulator, simulate
+from .stimulus import (
+    DirectedStimulus,
+    ExhaustiveStimulus,
+    RandomStimulus,
+    ResetSequenceStimulus,
+    Stimulus,
+    WalkingOnesStimulus,
+    default_stimulus,
+)
+from .trace import Trace
+from .vcd import dump_vcd, write_vcd
+
+__all__ = [
+    "CombinationalLoopError",
+    "DirectedStimulus",
+    "EvalError",
+    "ExhaustiveStimulus",
+    "ExprEvaluator",
+    "RandomStimulus",
+    "ResetSequenceStimulus",
+    "Simulator",
+    "StatementExecutor",
+    "Stimulus",
+    "Trace",
+    "WalkingOnesStimulus",
+    "default_stimulus",
+    "dump_vcd",
+    "simulate",
+    "write_vcd",
+]

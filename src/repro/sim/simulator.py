@@ -1,0 +1,159 @@
+"""Cycle-accurate two-phase simulator for elaborated RTL models.
+
+The simulator uses the standard synchronous abstraction: within a cycle,
+inputs are applied, combinational logic settles to a fixpoint, and on the
+active clock edge every sequential process computes its next register values,
+which are committed simultaneously.  Asynchronous resets are sampled at the
+cycle boundary (a sound abstraction for the two-valued subset).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from ..hdl.design import Design
+from ..hdl.elaborate import RtlModel
+from ..hdl.errors import ElaborationError
+from .eval import ExprEvaluator, StatementExecutor
+from .stimulus import Stimulus, default_stimulus
+from .trace import Trace
+
+_MAX_SETTLE_ITERATIONS = 64
+
+
+class CombinationalLoopError(ElaborationError):
+    """Raised when combinational logic does not settle to a fixpoint."""
+
+
+class Simulator:
+    """Simulate one elaborated design."""
+
+    def __init__(self, design_or_model):
+        if isinstance(design_or_model, Design):
+            self._model: RtlModel = design_or_model.model
+            self._design_name = design_or_model.name
+        else:
+            self._model = design_or_model
+            self._design_name = self._model.name
+        self._evaluator = ExprEvaluator(self._model)
+        self._executor = StatementExecutor(self._model, self._evaluator)
+        self._env: Dict[str, int] = {}
+        self.reset_state()
+
+    @property
+    def model(self) -> RtlModel:
+        return self._model
+
+    @property
+    def env(self) -> Dict[str, int]:
+        """The current signal environment (read-only view by convention)."""
+        return self._env
+
+    # -- state management ----------------------------------------------------
+
+    def reset_state(self) -> None:
+        """Initialise every signal to its initial value (default 0)."""
+        self._env = {name: 0 for name in self._model.signals}
+        for name, value in self._model.initial_values.items():
+            signal = self._model.signals[name]
+            self._env[name] = value & signal.mask
+        self.settle()
+
+    def load_state(self, registers: Dict[str, int]) -> None:
+        """Overwrite register values (used by the FPV engine)."""
+        for name, value in registers.items():
+            signal = self._model.signal(name)
+            self._env[name] = value & signal.mask
+        self.settle()
+
+    def registers(self) -> Dict[str, int]:
+        """Return the current values of all state registers."""
+        return {name: self._env[name] for name in self._model.state_regs}
+
+    # -- combinational settlement ---------------------------------------------
+
+    def apply_inputs(self, inputs: Dict[str, int]) -> None:
+        """Drive primary inputs (unknown names are rejected)."""
+        for name, value in inputs.items():
+            if name not in self._model.signals:
+                raise ElaborationError(f"unknown input {name!r}")
+            signal = self._model.signals[name]
+            self._env[name] = value & signal.mask
+
+    def settle(self) -> None:
+        """Propagate combinational logic until no signal changes."""
+        for _ in range(_MAX_SETTLE_ITERATIONS):
+            before = dict(self._env)
+            for assign in self._model.assigns:
+                value = self._evaluator.eval(assign.value, self._env)
+                self._executor.store(assign.target, value, self._env, self._env)
+            for process in self._model.comb_processes:
+                self._executor.run_combinational(process.body, self._env)
+            if self._env == before:
+                return
+        raise CombinationalLoopError(
+            f"combinational logic of {self._design_name!r} did not settle"
+        )
+
+    # -- clocking ---------------------------------------------------------------
+
+    def clock_edge(self) -> None:
+        """Advance all sequential processes by one active clock edge."""
+        next_values: Dict[str, int] = {}
+        for process in self._model.seq_processes:
+            self._executor.run_sequential(process.body, self._env, next_values)
+        self._env.update(next_values)
+        self.settle()
+
+    def step(self, inputs: Optional[Dict[str, int]] = None) -> Dict[str, int]:
+        """Simulate one full cycle: drive inputs, settle, clock, settle.
+
+        Returns the post-edge signal snapshot.  For purely combinational
+        designs the clock edge is a no-op and the snapshot reflects the
+        settled combinational outputs.
+        """
+        if inputs:
+            self.apply_inputs(inputs)
+        self.settle()
+        snapshot_inputs = {name: self._env[name] for name in self._model.signals}
+        if self._model.seq_processes:
+            self.clock_edge()
+        # The recorded cycle pairs the driven inputs with the settled values
+        # observed in that cycle (pre-edge view), which is what assertion
+        # sampling and trace mining expect.
+        return snapshot_inputs
+
+    # -- trace-producing runs -----------------------------------------------------
+
+    def run(
+        self,
+        cycles: int,
+        stimulus: Optional[Stimulus] = None,
+        reset_first: bool = True,
+        seed: int = 0,
+    ) -> Trace:
+        """Run for ``cycles`` cycles under ``stimulus`` and return the trace."""
+        if stimulus is None:
+            stimulus = default_stimulus(self._model, seed=seed)
+        if reset_first:
+            self.reset_state()
+        trace = Trace(signals=list(self._model.signals), design_name=self._design_name)
+        for vector in stimulus.vectors(self._model, cycles):
+            snapshot = self.step(vector)
+            trace.append(snapshot)
+        return trace
+
+    def run_vectors(self, vectors: Iterable[Dict[str, int]], reset_first: bool = True) -> Trace:
+        """Run an explicit vector sequence and return the trace."""
+        if reset_first:
+            self.reset_state()
+        trace = Trace(signals=list(self._model.signals), design_name=self._design_name)
+        for vector in vectors:
+            snapshot = self.step(vector)
+            trace.append(snapshot)
+        return trace
+
+
+def simulate(design: Design, cycles: int = 256, seed: int = 0) -> Trace:
+    """Convenience wrapper: simulate ``design`` with default stimulus."""
+    return Simulator(design).run(cycles=cycles, seed=seed)

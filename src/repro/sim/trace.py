@@ -1,0 +1,95 @@
+"""Simulation trace container.
+
+A :class:`Trace` records the value of every design signal at every simulated
+clock cycle.  Traces feed the assertion miners (:mod:`repro.mining`), the
+simulation-based falsification path of the FPV engine, and VCD export.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence
+
+
+@dataclass
+class Trace:
+    """Column-oriented storage of simulated signal values."""
+
+    signals: List[str] = field(default_factory=list)
+    data: Dict[str, List[int]] = field(default_factory=dict)
+    design_name: str = ""
+
+    def __post_init__(self):
+        for name in self.signals:
+            self.data.setdefault(name, [])
+
+    @property
+    def num_cycles(self) -> int:
+        if not self.data:
+            return 0
+        return min(len(column) for column in self.data.values())
+
+    def __len__(self) -> int:
+        return self.num_cycles
+
+    def append(self, values: Dict[str, int]) -> None:
+        """Record one cycle of signal values."""
+        for name in self.signals:
+            if name not in values:
+                raise KeyError(f"cycle record missing signal {name!r}")
+            self.data[name].append(values[name])
+
+    def value(self, signal: str, cycle: int) -> int:
+        """Return the value of ``signal`` at ``cycle``."""
+        return self.data[signal][cycle]
+
+    def column(self, signal: str) -> List[int]:
+        """Return the full value sequence for one signal."""
+        return self.data[signal]
+
+    def row(self, cycle: int) -> Dict[str, int]:
+        """Return a {signal: value} snapshot of one cycle."""
+        return {name: self.data[name][cycle] for name in self.signals}
+
+    def rows(self) -> Iterator[Dict[str, int]]:
+        """Iterate over per-cycle snapshots."""
+        for cycle in range(self.num_cycles):
+            yield self.row(cycle)
+
+    def window(self, start: int, length: int) -> "Trace":
+        """Return a sub-trace covering ``length`` cycles starting at ``start``."""
+        sub = Trace(signals=list(self.signals), design_name=self.design_name)
+        for name in self.signals:
+            sub.data[name] = self.data[name][start:start + length]
+        return sub
+
+    def extend(self, other: "Trace") -> None:
+        """Append all cycles of ``other`` (same signal set required)."""
+        if set(other.signals) != set(self.signals):
+            raise ValueError("traces record different signal sets")
+        for name in self.signals:
+            self.data[name].extend(other.data[name])
+
+    def distinct_values(self, signal: str) -> Sequence[int]:
+        """Return the sorted distinct values a signal takes in the trace."""
+        return sorted(set(self.data[signal]))
+
+    def toggle_count(self, signal: str) -> int:
+        """Number of cycles in which the signal changes value."""
+        column = self.data[signal]
+        return sum(1 for a, b in zip(column, column[1:]) if a != b)
+
+    def summary(self) -> Dict[str, Dict[str, int]]:
+        """Per-signal summary statistics (min, max, toggles)."""
+        result = {}
+        for name in self.signals:
+            column = self.data[name]
+            if not column:
+                result[name] = {"min": 0, "max": 0, "toggles": 0}
+                continue
+            result[name] = {
+                "min": min(column),
+                "max": max(column),
+                "toggles": self.toggle_count(name),
+            }
+        return result

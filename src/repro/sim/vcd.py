@@ -1,0 +1,78 @@
+"""Minimal VCD (value change dump) writer for simulation traces.
+
+The writer emits a standards-compliant subset of IEEE 1364 VCD so that
+traces produced by :class:`repro.sim.Simulator` can be inspected in any
+waveform viewer (GTKWave etc.).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, TextIO
+
+from ..hdl.elaborate import RtlModel
+from .trace import Trace
+
+_ID_CHARS = "".join(chr(c) for c in range(33, 127))
+
+
+def _identifier_for(index: int) -> str:
+    """Map a signal index to a short VCD identifier code."""
+    if index < len(_ID_CHARS):
+        return _ID_CHARS[index]
+    code = ""
+    while index:
+        index, rem = divmod(index, len(_ID_CHARS))
+        code += _ID_CHARS[rem]
+    return code or _ID_CHARS[0]
+
+
+def write_vcd(
+    trace: Trace,
+    stream: TextIO,
+    model: Optional[RtlModel] = None,
+    timescale: str = "1ns",
+    module_name: Optional[str] = None,
+) -> None:
+    """Write ``trace`` to ``stream`` in VCD format.
+
+    If ``model`` is provided, declared signal widths are used; otherwise each
+    signal's width is inferred from the maximum value it takes in the trace.
+    """
+    widths: Dict[str, int] = {}
+    for name in trace.signals:
+        if model is not None and name in model.signals:
+            widths[name] = model.signals[name].width
+        else:
+            peak = max(trace.column(name), default=0)
+            widths[name] = max(1, peak.bit_length())
+
+    identifiers = {name: _identifier_for(i) for i, name in enumerate(trace.signals)}
+    scope = module_name or trace.design_name or "design"
+
+    stream.write("$date reproduced trace $end\n")
+    stream.write("$version repro.sim VCD writer $end\n")
+    stream.write(f"$timescale {timescale} $end\n")
+    stream.write(f"$scope module {scope} $end\n")
+    for name in trace.signals:
+        stream.write(f"$var wire {widths[name]} {identifiers[name]} {name} $end\n")
+    stream.write("$upscope $end\n")
+    stream.write("$enddefinitions $end\n")
+
+    previous: Dict[str, int] = {}
+    for cycle in range(trace.num_cycles):
+        stream.write(f"#{cycle * 10}\n")
+        for name in trace.signals:
+            value = trace.value(name, cycle)
+            if cycle and previous.get(name) == value:
+                continue
+            previous[name] = value
+            if widths[name] == 1:
+                stream.write(f"{value & 1}{identifiers[name]}\n")
+            else:
+                stream.write(f"b{value:b} {identifiers[name]}\n")
+
+
+def dump_vcd(trace: Trace, path: str, model: Optional[RtlModel] = None) -> None:
+    """Write ``trace`` to the file at ``path``."""
+    with open(path, "w", encoding="utf-8") as stream:
+        write_vcd(trace, stream, model=model)

@@ -1,0 +1,38 @@
+"""Restricted SVA subset: assertion model, parser, binding checker, corrector."""
+
+from .checker import BindingReport, bind, check_semantics, referenced_state_signals
+from .corrector import CorrectionResult, SyntaxCorrector, correct_assertion
+from .errors import SvaBindingError, SvaError, SvaSyntaxError, SvaUnsupportedError
+from .model import (
+    NON_OVERLAPPED,
+    OVERLAPPED,
+    Assertion,
+    AssertionSignature,
+    SequenceTerm,
+    deduplicate,
+)
+from .parser import SvaParser, parse_assertion, parse_assertions, split_assertion_lines
+
+__all__ = [
+    "Assertion",
+    "AssertionSignature",
+    "BindingReport",
+    "CorrectionResult",
+    "NON_OVERLAPPED",
+    "OVERLAPPED",
+    "SequenceTerm",
+    "SvaBindingError",
+    "SvaError",
+    "SvaParser",
+    "SvaSyntaxError",
+    "SvaUnsupportedError",
+    "SyntaxCorrector",
+    "bind",
+    "check_semantics",
+    "correct_assertion",
+    "deduplicate",
+    "parse_assertion",
+    "parse_assertions",
+    "referenced_state_signals",
+    "split_assertion_lines",
+]

@@ -1,0 +1,145 @@
+"""Semantic binding of assertions against a design.
+
+Binding answers the question the FPV engine asks before it can prove
+anything: does every signal referenced by the assertion exist in the design,
+are bit/part selects in range, and is there a usable clock for sequential
+assertions?  Binding failures are classified under the paper's ``Error``
+metric (the assertion cannot even be elaborated by the verification tool).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Set
+
+from ..hdl import ast
+from ..hdl.design import Design
+from ..hdl.elaborate import RtlModel
+from .errors import SvaBindingError
+from .model import Assertion
+
+
+@dataclass
+class BindingReport:
+    """Outcome of binding one assertion against one design."""
+
+    ok: bool
+    unknown_signals: List[str] = field(default_factory=list)
+    out_of_range_selects: List[str] = field(default_factory=list)
+    clock: Optional[str] = None
+    messages: List[str] = field(default_factory=list)
+
+    def raise_if_failed(self) -> None:
+        if not self.ok:
+            raise SvaBindingError("; ".join(self.messages) or "binding failed")
+
+
+def _model_of(design_or_model) -> RtlModel:
+    if isinstance(design_or_model, Design):
+        return design_or_model.model
+    return design_or_model
+
+
+def bind(assertion: Assertion, design_or_model) -> BindingReport:
+    """Check that ``assertion`` can be elaborated against the design."""
+    model = _model_of(design_or_model)
+    known = set(model.signals) | set(model.parameters)
+    messages: List[str] = []
+
+    unknown = sorted(name for name in assertion.signals() if name not in known)
+    if unknown:
+        messages.append(f"unknown signals: {', '.join(unknown)}")
+
+    out_of_range = _check_selects(assertion, model)
+    if out_of_range:
+        messages.append(f"out-of-range selects: {', '.join(out_of_range)}")
+
+    clock = assertion.clock
+    if clock is None and not assertion.is_combinational and model.clocks:
+        clock = model.clocks[0]
+    if clock is not None and clock not in model.signals:
+        messages.append(f"clock {clock!r} is not a design signal")
+    if not assertion.is_combinational and clock is None and model.is_sequential:
+        # Sequential assertion on a sequential design needs some clock; fall
+        # back to the design's primary clock if one exists, otherwise report.
+        if not model.clocks:
+            messages.append("sequential assertion but the design declares no clock")
+
+    if not assertion.antecedent:
+        messages.append("assertion has an empty antecedent")
+    if not assertion.consequent:
+        messages.append("assertion has an empty consequent")
+
+    return BindingReport(
+        ok=not messages,
+        unknown_signals=unknown,
+        out_of_range_selects=out_of_range,
+        clock=clock,
+        messages=messages,
+    )
+
+
+def _check_selects(assertion: Assertion, model: RtlModel) -> List[str]:
+    problems: List[str] = []
+    for term in list(assertion.antecedent) + list(assertion.consequent):
+        _walk_selects(term.expr, model, problems)
+    if assertion.disable_iff is not None:
+        _walk_selects(assertion.disable_iff, model, problems)
+    return problems
+
+
+def _walk_selects(expr: ast.Expr, model: RtlModel, problems: List[str]) -> None:
+    if isinstance(expr, ast.BitSelect):
+        _check_one_select(expr.base, expr.index, expr.index, model, problems)
+        _walk_selects(expr.base, model, problems)
+        _walk_selects(expr.index, model, problems)
+    elif isinstance(expr, ast.PartSelect):
+        _check_one_select(expr.base, expr.msb, expr.lsb, model, problems)
+        _walk_selects(expr.base, model, problems)
+    elif isinstance(expr, ast.Unary):
+        _walk_selects(expr.operand, model, problems)
+    elif isinstance(expr, ast.Binary):
+        _walk_selects(expr.left, model, problems)
+        _walk_selects(expr.right, model, problems)
+    elif isinstance(expr, ast.Ternary):
+        _walk_selects(expr.cond, model, problems)
+        _walk_selects(expr.then, model, problems)
+        _walk_selects(expr.otherwise, model, problems)
+    elif isinstance(expr, ast.Concat):
+        for part in expr.parts:
+            _walk_selects(part, model, problems)
+    elif isinstance(expr, ast.Replicate):
+        _walk_selects(expr.value, model, problems)
+
+
+def _check_one_select(
+    base: ast.Expr, high: ast.Expr, low: ast.Expr, model: RtlModel, problems: List[str]
+) -> None:
+    if not isinstance(base, ast.Identifier) or base.name not in model.signals:
+        return
+    width = model.signals[base.name].width
+    for bound in (high, low):
+        index = _try_const(bound, model)
+        if index is None:
+            continue
+        if index < 0 or index >= width:
+            problems.append(f"{base.name}[{index}] (width {width})")
+
+
+def _try_const(expr: ast.Expr, model: RtlModel) -> Optional[int]:
+    if isinstance(expr, ast.Number):
+        return expr.value
+    if isinstance(expr, ast.Identifier) and expr.name in model.parameters:
+        return model.parameters[expr.name]
+    return None
+
+
+def check_semantics(assertion: Assertion, design_or_model) -> None:
+    """Raise :class:`SvaBindingError` if the assertion cannot be bound."""
+    bind(assertion, design_or_model).raise_if_failed()
+
+
+def referenced_state_signals(assertion: Assertion, design_or_model) -> Set[str]:
+    """Design state registers mentioned by the assertion (used by ranking)."""
+    model = _model_of(design_or_model)
+    return {name for name in assertion.signals() if name in set(model.state_regs)}

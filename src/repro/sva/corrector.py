@@ -1,0 +1,249 @@
+"""Rule-based SVA syntax corrector.
+
+The paper's evaluation framework (Figure 4, step 3) passes every
+LLM-generated assertion through a GPT-3.5-based syntax corrector before
+handing it to the FPV engine, because "each LLM fails to learn the SVA syntax
+from the training examples".  We substitute a deterministic repairer that
+fixes the same classes of near-miss output: wrong implication spelling,
+assignment-instead-of-equality, stray prose or markdown, missing delimiters,
+and (optionally) signal names that almost match a design signal.
+
+The corrector deliberately cannot fix everything — a fraction of generated
+assertions remains unparseable even after correction, which is exactly the
+behaviour the paper's ``Error`` metric measures.
+"""
+
+from __future__ import annotations
+
+import difflib
+import re
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..hdl.design import Design
+from .errors import SvaError, SvaSyntaxError
+from .model import Assertion
+from .parser import parse_assertion
+
+
+@dataclass
+class CorrectionResult:
+    """Outcome of attempting to repair one assertion string."""
+
+    original: str
+    corrected: str
+    assertion: Optional[Assertion]
+    applied_rules: List[str] = field(default_factory=list)
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.assertion is not None
+
+
+class SyntaxCorrector:
+    """Repair near-miss SVA text so the FPV engine can elaborate it."""
+
+    def __init__(self, design: Optional[Design] = None, resolve_signals: bool = True):
+        self._design = design
+        self._resolve_signals = resolve_signals and design is not None
+
+    def correct(self, text: str) -> CorrectionResult:
+        """Attempt to parse ``text``, applying repair rules until it parses."""
+        applied: List[str] = []
+        current = text
+
+        try:
+            assertion = parse_assertion(current)
+            return self._maybe_resolve_parsed(text, current, assertion, applied)
+        except SvaError:
+            pass
+
+        for rule_name, rule in _REPAIR_RULES:
+            repaired = rule(current)
+            if repaired != current:
+                applied.append(rule_name)
+                current = repaired
+            try:
+                return CorrectionResult(text, current, parse_assertion(current), list(applied))
+            except SvaError:
+                continue
+
+        if self._resolve_signals:
+            resolved = self._resolve_signal_names(current)
+            if resolved != current:
+                applied.append("resolve_signal_names")
+                current = resolved
+                try:
+                    return CorrectionResult(
+                        text, current, parse_assertion(current), list(applied)
+                    )
+                except SvaError:
+                    pass
+
+        try:
+            assertion = parse_assertion(current)
+            return CorrectionResult(text, current, assertion, applied)
+        except SvaError as exc:
+            return CorrectionResult(text, current, None, applied, error=str(exc))
+
+    def correct_all(self, lines: List[str]) -> List[CorrectionResult]:
+        """Correct a batch of assertion strings."""
+        return [self.correct(line) for line in lines]
+
+    def _maybe_resolve_parsed(
+        self, original: str, current: str, assertion: Assertion, applied: List[str]
+    ) -> CorrectionResult:
+        """Repair near-miss signal names in an otherwise well-formed assertion.
+
+        A GPT-style corrector routinely fixes identifiers that are one typo
+        away from a real design signal (``req_1`` vs ``req1``); genuinely
+        unknown names are left alone so the FPV engine still reports them as
+        elaboration errors.
+        """
+        if not self._resolve_signals or self._design is None:
+            return CorrectionResult(original, current, assertion, applied)
+        known = set(self._design.model.signals) | set(self._design.model.parameters)
+        unknown = [name for name in assertion.signals() if name not in known]
+        if not unknown:
+            return CorrectionResult(original, current, assertion, applied)
+        resolved_text = self._resolve_signal_names(current)
+        if resolved_text == current:
+            return CorrectionResult(original, current, assertion, applied)
+        try:
+            resolved = parse_assertion(resolved_text)
+        except SvaError:
+            return CorrectionResult(original, current, assertion, applied)
+        still_unknown = [name for name in resolved.signals() if name not in known]
+        if len(still_unknown) < len(unknown):
+            applied = applied + ["resolve_signal_names"]
+            return CorrectionResult(original, resolved_text, resolved, applied)
+        return CorrectionResult(original, current, assertion, applied)
+
+    # -- signal-name resolution --------------------------------------------------
+
+    def _resolve_signal_names(self, text: str) -> str:
+        if self._design is None:
+            return text
+        known = list(self._design.model.signals) + list(self._design.model.parameters)
+        known_set = set(known)
+
+        def replace(match: re.Match) -> str:
+            word = match.group(0)
+            if word in known_set or word in _SVA_WORDS or word.isdigit():
+                return word
+            candidates = difflib.get_close_matches(word, known, n=1, cutoff=0.75)
+            return candidates[0] if candidates else word
+
+        return re.sub(r"[A-Za-z_][A-Za-z0-9_]*", replace, text)
+
+
+_SVA_WORDS = frozenset(
+    {
+        "assert",
+        "assume",
+        "cover",
+        "property",
+        "endproperty",
+        "posedge",
+        "negedge",
+        "disable",
+        "iff",
+        "and",
+        "or",
+        "not",
+        "if",
+        "else",
+    }
+)
+
+
+def _strip_prose(text: str) -> str:
+    """Drop markdown fences, bullets, numbering, and trailing explanations."""
+    line = text.strip()
+    line = re.sub(r"^```\w*", "", line).strip()
+    line = line.replace("`", "").strip()
+    line = re.sub(r"^[-*]\s+", "", line)
+    line = re.sub(r"^(assertion|property)?\s*\d+\s*[.):]\s*", "", line, flags=re.IGNORECASE)
+    # Drop anything after a '//' comment.
+    line = line.split("//")[0].strip()
+    return line
+
+
+def _fix_implication(text: str) -> str:
+    """Rewrite ``->`` / ``=>`` / ``implies`` to the SVA implication operators."""
+    if "|->" in text or "|=>" in text:
+        return text
+    fixed = re.sub(r"(?<![|=<>!+\-*/])->", "|->", text)
+    fixed = re.sub(r"(?<![|=<>!])=>(?!=)", "|=>", fixed)
+    fixed = re.sub(r"\bimplies\b", "|->", fixed)
+    return fixed
+
+
+def _fix_equality(text: str) -> str:
+    """Rewrite single ``=`` used as comparison into ``==``."""
+    return re.sub(r"(?<![=!<>|&^~+\-*/])=(?![=>])", "==", text)
+
+
+def _fix_sized_literals(text: str) -> str:
+    """Normalise literals like ``1'b1`` left untouched but repair ``1b1``/``'b1``."""
+    fixed = re.sub(r"\b(\d+)b([01xz]+)\b", r"\1'b\2", text)
+    fixed = re.sub(r"(?<![0-9'])'b([01xz]+)", r"1'b\1", fixed)
+    return fixed
+
+def _fix_delay(text: str) -> str:
+    """Repair bare ``##`` (no count) and ``# n`` delay spellings."""
+    fixed = re.sub(r"##\s*(?=[^\d])", "##1 ", text)
+    fixed = re.sub(r"(?<!#)#(\d+)", r"##\1", fixed)
+    return fixed
+
+
+def _balance_parens(text: str) -> str:
+    """Append or trim parentheses so they balance."""
+    opens = text.count("(")
+    closes = text.count(")")
+    stripped = text.rstrip(";").rstrip()
+    if opens > closes:
+        stripped = stripped + ")" * (opens - closes)
+    elif closes > opens:
+        surplus = closes - opens
+        while surplus and stripped.endswith(")"):
+            stripped = stripped[:-1]
+            surplus -= 1
+    return stripped + ";" if text.rstrip().endswith(";") else stripped
+
+
+def _strip_property_block(text: str) -> str:
+    """Flatten ``property p; ... endproperty assert property(p);`` blocks."""
+    match = re.search(
+        r"property\s+\w+\s*;(.*?)endproperty", text, flags=re.IGNORECASE | re.DOTALL
+    )
+    if match:
+        return match.group(1).strip().rstrip(";") + ";"
+    return text
+
+
+def _drop_trailing_garbage(text: str) -> str:
+    """Keep only the first statement-like chunk ending in ';'."""
+    if ";" in text:
+        return text.split(";")[0] + ";"
+    return text
+
+
+_REPAIR_RULES = (
+    ("strip_prose", _strip_prose),
+    ("strip_property_block", _strip_property_block),
+    ("fix_implication", _fix_implication),
+    ("fix_delay", _fix_delay),
+    ("fix_equality", _fix_equality),
+    ("fix_sized_literals", _fix_sized_literals),
+    ("balance_parens", _balance_parens),
+    ("drop_trailing_garbage", _drop_trailing_garbage),
+)
+
+
+def correct_assertion(
+    text: str, design: Optional[Design] = None, resolve_signals: bool = True
+) -> CorrectionResult:
+    """Convenience wrapper around :class:`SyntaxCorrector` for one assertion."""
+    return SyntaxCorrector(design=design, resolve_signals=resolve_signals).correct(text)

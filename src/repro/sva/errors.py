@@ -1,0 +1,41 @@
+"""Error taxonomy for the SVA subset.
+
+The evaluation framework (Section IV of the paper) distinguishes assertions
+that are *syntactically* broken (the FPV engine cannot even parse them — the
+``Error`` metric) from assertions that parse and bind but are *semantically*
+wrong (they produce a counterexample — the ``CEX``/``Fail`` metric).  The
+error classes below encode that distinction.
+"""
+
+from __future__ import annotations
+
+
+class SvaError(Exception):
+    """Base class for all SVA-related errors."""
+
+    def __init__(self, message: str, text: str = ""):
+        super().__init__(message)
+        self.message = message
+        self.text = text
+
+    def __str__(self) -> str:
+        if self.text:
+            return f"{self.message}: {self.text!r}"
+        return self.message
+
+
+class SvaSyntaxError(SvaError):
+    """The assertion text is not valid SVA (even for the restricted subset)."""
+
+
+class SvaBindingError(SvaError):
+    """The assertion parses but references signals the design does not declare,
+
+    or otherwise cannot be bound to the design (e.g. out-of-range bit selects).
+    A binding failure is reported by the FPV engine as an elaboration error and
+    therefore counts towards the paper's ``Error`` metric.
+    """
+
+
+class SvaUnsupportedError(SvaSyntaxError):
+    """The assertion uses SVA features outside the restricted subset."""

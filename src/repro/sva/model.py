@@ -1,0 +1,201 @@
+"""Assertion object model for the supported SVA subset.
+
+The paper restricts assertions to the sequential form ``G(A -> C)`` where the
+antecedent ``A`` is a conjunction of propositions at cycle offsets
+``0..m`` and the consequent ``C`` is a proposition at offset ``n >= m``
+(Section II.A).  We model both sides as lists of *sequence terms* — a
+proposition (a Verilog boolean expression over design signals) paired with a
+cycle offset — which also covers multi-term consequents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Set, Tuple
+
+from ..hdl import ast
+
+#: Implication flavours (IEEE 1800 terminology).
+OVERLAPPED = "|->"
+NON_OVERLAPPED = "|=>"
+
+
+@dataclass(frozen=True)
+class SequenceTerm:
+    """A proposition sampled at a fixed cycle offset from the start of a match."""
+
+    offset: int
+    expr: ast.Expr
+
+    def signals(self) -> Set[str]:
+        return self.expr.signals()
+
+    def __str__(self) -> str:
+        prefix = f"##{self.offset} " if self.offset else ""
+        return f"{prefix}({self.expr})"
+
+
+@dataclass
+class Assertion:
+    """One sequential assertion ``G(antecedent |-> consequent)``."""
+
+    antecedent: List[SequenceTerm]
+    consequent: List[SequenceTerm]
+    implication: str = OVERLAPPED
+    clock: Optional[str] = None
+    clock_edge: str = "posedge"
+    disable_iff: Optional[ast.Expr] = None
+    name: str = ""
+    source_text: str = ""
+
+    def __post_init__(self):
+        if self.implication not in (OVERLAPPED, NON_OVERLAPPED):
+            raise ValueError(f"unknown implication operator {self.implication!r}")
+
+    # -- structural queries ---------------------------------------------------
+
+    def signals(self) -> Set[str]:
+        """All design signals referenced anywhere in the assertion."""
+        names: Set[str] = set()
+        for term in self.antecedent:
+            names |= term.signals()
+        for term in self.consequent:
+            names |= term.signals()
+        if self.disable_iff is not None:
+            names |= self.disable_iff.signals()
+        if self.clock:
+            names.add(self.clock)
+        return names
+
+    @property
+    def antecedent_depth(self) -> int:
+        """Largest antecedent offset (``m`` in the paper's notation)."""
+        return max((term.offset for term in self.antecedent), default=0)
+
+    @property
+    def consequent_shift(self) -> int:
+        """Cycle offset of the consequent's reference point.
+
+        Per IEEE 1800 semantics, the consequent of ``|->`` starts in the cycle
+        where the antecedent match *ends*; ``|=>`` starts one cycle later.
+        """
+        base = self.antecedent_depth
+        return base + (1 if self.implication == NON_OVERLAPPED else 0)
+
+    @property
+    def consequent_depth(self) -> int:
+        """Largest consequent offset measured from the match start."""
+        shift = self.consequent_shift
+        return max((term.offset + shift for term in self.consequent), default=shift)
+
+    @property
+    def temporal_depth(self) -> int:
+        """Total number of cycles a single evaluation attempt spans."""
+        return max(self.antecedent_depth, self.consequent_depth)
+
+    @property
+    def is_combinational(self) -> bool:
+        """True when every term is sampled in the same cycle (depth 0)."""
+        return self.temporal_depth == 0 and self.implication == OVERLAPPED
+
+    def consequent_terms_absolute(self) -> List[SequenceTerm]:
+        """Consequent terms with offsets measured from the match start."""
+        shift = self.consequent_shift
+        return [SequenceTerm(term.offset + shift, term.expr) for term in self.consequent]
+
+    # -- rendering --------------------------------------------------------------
+
+    def sequence_text(self, terms: List[SequenceTerm]) -> str:
+        """Render a term list as an SVA sequence expression."""
+        if not terms:
+            return "(1)"
+        ordered = sorted(terms, key=lambda t: t.offset)
+        pieces: List[str] = []
+        previous_offset = 0
+        same_cycle: List[str] = []
+        for term in ordered:
+            gap = term.offset - previous_offset
+            if gap == 0 and pieces == [] and not same_cycle:
+                same_cycle.append(f"({term.expr})")
+            elif gap == 0:
+                same_cycle.append(f"({term.expr})")
+            else:
+                if same_cycle:
+                    pieces.append(" && ".join(same_cycle))
+                    same_cycle = []
+                pieces.append(f"##{gap}")
+                same_cycle.append(f"({term.expr})")
+                previous_offset = term.offset
+        if same_cycle:
+            pieces.append(" && ".join(same_cycle))
+        return " ".join(pieces)
+
+    def body_text(self) -> str:
+        """The assertion body: ``antecedent |-> consequent``."""
+        return (
+            f"{self.sequence_text(self.antecedent)} {self.implication} "
+            f"{self.sequence_text(self.consequent)}"
+        )
+
+    def to_sva(self, include_assert: bool = True) -> str:
+        """Render the assertion as SVA concrete syntax."""
+        clocking = f"@({self.clock_edge} {self.clock}) " if self.clock else ""
+        disable = f"disable iff ({self.disable_iff}) " if self.disable_iff is not None else ""
+        body = f"{clocking}{disable}{self.body_text()}"
+        if include_assert:
+            label = f"{self.name}: " if self.name else ""
+            return f"{label}assert property ({body});"
+        return f"{body};"
+
+    def __str__(self) -> str:
+        return self.to_sva(include_assert=False)
+
+    # -- convenience constructors ------------------------------------------------
+
+    @classmethod
+    def simple(
+        cls,
+        antecedent: ast.Expr,
+        consequent: ast.Expr,
+        implication: str = OVERLAPPED,
+        clock: Optional[str] = None,
+        name: str = "",
+    ) -> "Assertion":
+        """Build a single-term assertion ``antecedent |-> consequent``."""
+        return cls(
+            antecedent=[SequenceTerm(0, antecedent)],
+            consequent=[SequenceTerm(0, consequent)],
+            implication=implication,
+            clock=clock,
+            name=name,
+        )
+
+
+@dataclass(frozen=True)
+class AssertionSignature:
+    """A hashable structural fingerprint used to deduplicate assertions."""
+
+    antecedent: Tuple[Tuple[int, str], ...]
+    consequent: Tuple[Tuple[int, str], ...]
+    implication: str
+
+    @classmethod
+    def of(cls, assertion: Assertion) -> "AssertionSignature":
+        return cls(
+            antecedent=tuple(sorted((t.offset, str(t.expr)) for t in assertion.antecedent)),
+            consequent=tuple(sorted((t.offset, str(t.expr)) for t in assertion.consequent)),
+            implication=assertion.implication,
+        )
+
+
+def deduplicate(assertions: List[Assertion]) -> List[Assertion]:
+    """Drop structural duplicates while preserving order."""
+    seen: Set[AssertionSignature] = set()
+    unique: List[Assertion] = []
+    for assertion in assertions:
+        signature = AssertionSignature.of(assertion)
+        if signature in seen:
+            continue
+        seen.add(signature)
+        unique.append(assertion)
+    return unique

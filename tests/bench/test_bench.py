@@ -1,0 +1,117 @@
+"""Tests for the AssertionBench corpus, knowledge base, and ICE construction."""
+
+import pytest
+
+from repro.bench import TEST_SPECS, TRAINING_SPECS, AssertionBenchCorpus, load_corpus
+from repro.fpv import FormalEngine, ProofStatus
+from repro.sim import Simulator
+
+
+class TestCorpusStructure:
+    def test_exactly_100_test_designs_and_5_training_designs(self):
+        assert len(TEST_SPECS) == 100
+        assert len(TRAINING_SPECS) == 5
+
+    def test_training_designs_match_paper(self, corpus):
+        names = set(corpus.names("train"))
+        assert names == {"arb2", "half_adder", "full_adder", "t_flip_flop", "full_subtractor"}
+
+    def test_every_design_elaborates(self, corpus):
+        for design in corpus.all_designs():
+            assert design.model.signals
+            assert design.loc > 0
+
+    def test_loc_range_matches_figure3(self, corpus):
+        loc = corpus.loc_by_design("test")
+        assert min(loc.values()) <= 15
+        assert max(loc.values()) >= 1000
+
+    def test_mix_of_combinational_and_sequential(self, corpus):
+        counts = corpus.split_counts()
+        assert counts["combinational"] >= 20
+        assert counts["sequential"] >= 50
+
+    def test_representative_designs_are_the_largest(self, corpus):
+        table = corpus.representative_designs(5)
+        locs = [design.loc for design in table]
+        assert locs == sorted(locs, reverse=True)
+        assert table[0].name == "ca_prng"
+
+    def test_design_lookup_and_errors(self, corpus):
+        assert corpus.design("fifo_mem").name == "fifo_mem"
+        with pytest.raises(KeyError):
+            corpus.design("not_a_design")
+
+    def test_design_cache_returns_same_object(self, corpus):
+        assert corpus.design("counter") is corpus.design("counter")
+
+    def test_load_corpus_convenience(self):
+        assert isinstance(load_corpus(), AssertionBenchCorpus)
+
+    def test_category_coverage(self, corpus):
+        categories = {spec.category for spec in TEST_SPECS}
+        assert {"communication", "security", "arithmetic", "fsm", "storage"} <= categories
+
+
+class TestCorpusBehaviour:
+    @pytest.mark.parametrize(
+        "name",
+        ["counter", "fifo_mem", "traffic_light", "uart_tx", "lfsr8", "alu8", "hamming_encoder"],
+    )
+    def test_representative_designs_simulate(self, corpus, name):
+        design = corpus.design(name)
+        trace = Simulator(design).run(cycles=64, seed=3)
+        assert trace.num_cycles == 64
+
+    def test_lfsr_visits_many_states(self, corpus):
+        design = corpus.design("lfsr8")
+        trace = Simulator(design).run(cycles=300, seed=1)
+        assert len(trace.distinct_values("state")) > 100
+
+    def test_fifo_count_never_exceeds_depth(self, corpus):
+        design = corpus.design("fifo_mem")
+        trace = Simulator(design).run(cycles=300, seed=2)
+        assert max(trace.column("count")) <= 4
+
+    def test_hamming_roundtrip_via_fpv(self, corpus):
+        encoder = corpus.design("hamming_encoder")
+        engine = FormalEngine(encoder)
+        result = engine.check("(data_in == 5) |-> (code_out[2] == 1);")
+        assert result.status is ProofStatus.PROVEN
+
+
+class TestKnowledgeBase:
+    def test_pool_is_cached(self, corpus, knowledge):
+        design = corpus.design("counter")
+        first = knowledge.verified_assertions(design)
+        second = knowledge.verified_assertions(design)
+        assert [a.body_text() for a in first] == [a.body_text() for a in second]
+        assert "counter" in knowledge
+
+    def test_pool_assertions_are_proven(self, corpus, knowledge):
+        design = corpus.design("counter")
+        engine = FormalEngine(design)
+        for assertion in knowledge.verified_assertions(design)[:4]:
+            assert engine.check(assertion).is_pass
+
+    def test_pool_respects_maximum(self, corpus, knowledge):
+        design = corpus.design("fifo_mem")
+        assert len(knowledge.verified_assertions(design)) <= 10
+
+
+class TestIclExamples:
+    def test_five_examples_available(self, icl_examples):
+        assert len(icl_examples.examples) == 5
+        assert icl_examples.for_k(1)[0].design.name == "arb2"
+        assert len(icl_examples.for_k(5)) == 5
+
+    def test_each_example_has_at_least_two_assertions(self, icl_examples):
+        assert all(count >= 2 for count in icl_examples.assertion_counts())
+        assert all(count <= 10 for count in icl_examples.assertion_counts())
+
+    def test_average_assertion_count_is_reasonable(self, icl_examples):
+        assert 2.0 <= icl_examples.average_assertions <= 10.0
+
+    def test_requesting_too_many_examples_raises(self, icl_examples):
+        with pytest.raises(ValueError):
+            icl_examples.for_k(6)

@@ -1,0 +1,176 @@
+"""Tests for the evaluation framework: metrics, pipeline, campaigns, reports."""
+
+import pytest
+
+from repro.core import (
+    CEX,
+    ERROR,
+    PASS,
+    EvaluationMatrix,
+    EvaluationPipeline,
+    FinetuneEvaluationConfig,
+    FinetuneEvaluator,
+    IclEvaluationConfig,
+    IclEvaluator,
+    MetricCounts,
+    ModelKshotResult,
+    PipelineConfig,
+    all_observations,
+    categorize,
+    figure3_design_sizes,
+    figure6_accuracy,
+    figure7_model_comparison,
+    ice_statistics,
+    table1_design_details,
+)
+from repro.core.metrics import AssertionOutcome, DesignEvaluation
+from repro.core.reports import accuracy_matrix_report, corpus_summary
+from repro.fpv.result import ProofResult, ProofStatus
+from repro.llm import CODELLAMA_2, GPT_4O, LLAMA3_70B, SimulatedCotsLLM
+
+
+class TestMetrics:
+    def test_categorize_maps_verdicts(self):
+        assert categorize(ProofResult(status=ProofStatus.PROVEN)) == PASS
+        assert categorize(ProofResult(status=ProofStatus.VACUOUS)) == PASS
+        assert categorize(ProofResult(status=ProofStatus.CEX)) == CEX
+        assert categorize(ProofResult(status=ProofStatus.ERROR)) == ERROR
+
+    def test_metric_counts_and_fractions(self):
+        counts = MetricCounts()
+        for category in (PASS, PASS, CEX, ERROR):
+            counts.add(category)
+        assert counts.total == 4
+        fractions = counts.fractions()
+        assert fractions[PASS] == pytest.approx(0.5)
+        with pytest.raises(ValueError):
+            counts.add("bogus")
+
+    def test_matrix_aggregation(self):
+        result = ModelKshotResult(model_name="m", k=1)
+        design_eval = DesignEvaluation(design_name="d")
+        design_eval.outcomes.append(
+            AssertionOutcome("d", "m", 1, "raw", "fixed", PASS)
+        )
+        design_eval.outcomes.append(
+            AssertionOutcome("d", "m", 1, "raw2", "fixed2", CEX)
+        )
+        result.designs.append(design_eval)
+        matrix = EvaluationMatrix()
+        matrix.add(result)
+        assert matrix.get("m", 1).pass_fraction == pytest.approx(0.5)
+        assert matrix.model_names == ["m"]
+        assert matrix.k_values == [1]
+        assert list(matrix.get("m", 1).outcomes())
+
+
+@pytest.fixture(scope="module")
+def small_evaluator(corpus, knowledge, icl_examples):
+    return IclEvaluator(
+        corpus=corpus,
+        knowledge=knowledge,
+        examples=icl_examples,
+        config=IclEvaluationConfig(num_test_designs=5),
+    )
+
+
+@pytest.fixture(scope="module")
+def small_matrix(small_evaluator):
+    return small_evaluator.evaluate(
+        [SimulatedCotsLLM(p, small_evaluator.knowledge) for p in (GPT_4O, LLAMA3_70B)]
+    )
+
+
+class TestPipeline:
+    def test_pipeline_classifies_every_generated_assertion(self, small_evaluator, corpus, icl_examples):
+        design = corpus.design("counter")
+        generator = SimulatedCotsLLM(GPT_4O, small_evaluator.knowledge)
+        evaluation = small_evaluator.pipeline.evaluate_design(
+            generator, design, icl_examples.for_k(1), k=1
+        )
+        assert evaluation.num_generated > 0
+        assert all(o.category in (PASS, CEX, ERROR) for o in evaluation.outcomes)
+        assert all(o.proof is not None for o in evaluation.outcomes)
+
+    def test_verdict_cache_is_used(self, small_evaluator, corpus, icl_examples):
+        design = corpus.design("counter")
+        generator = SimulatedCotsLLM(GPT_4O, small_evaluator.knowledge)
+        before = small_evaluator.pipeline.cache.hits
+        small_evaluator.pipeline.evaluate_design(generator, design, icl_examples.for_k(1), k=1)
+        small_evaluator.pipeline.evaluate_design(generator, design, icl_examples.for_k(1), k=1)
+        assert small_evaluator.pipeline.cache.hits > before
+
+    def test_disabling_corrector_increases_or_keeps_errors(self, corpus, knowledge, icl_examples):
+        design = corpus.design("counter")
+        pipeline = EvaluationPipeline(PipelineConfig())
+        generator = SimulatedCotsLLM(LLAMA3_70B, knowledge)
+        with_corrector = pipeline.evaluate_design(
+            generator, design, icl_examples.for_k(5), k=5, use_corrector=True
+        )
+        without_corrector = pipeline.evaluate_design(
+            generator, design, icl_examples.for_k(5), k=5, use_corrector=False
+        )
+        errors_with = with_corrector.counts.error
+        errors_without = without_corrector.counts.error
+        assert errors_without >= errors_with
+
+
+class TestCampaigns:
+    def test_icl_matrix_shape(self, small_matrix):
+        assert set(small_matrix.model_names) == {GPT_4O.name, LLAMA3_70B.name}
+        assert small_matrix.k_values == [1, 5]
+        for model in small_matrix.model_names:
+            for k in (1, 5):
+                result = small_matrix.get(model, k)
+                assert result.num_assertions > 0
+                total = sum(result.accuracy.values())
+                assert total == pytest.approx(1.0)
+
+    def test_finetune_campaign(self, corpus, knowledge, icl_examples):
+        evaluator = FinetuneEvaluator(
+            corpus=corpus,
+            knowledge=knowledge,
+            examples=icl_examples,
+            config=FinetuneEvaluationConfig(num_designs=8),
+        )
+        campaign = evaluator.evaluate([CODELLAMA_2])
+        tuned_name = campaign.matrix.model_names[0]
+        assert "CodeLLaMa" in tuned_name
+        report = campaign.reports[CODELLAMA_2.name]
+        assert report.num_train_designs > report.num_test_designs
+        assert 0 < campaign.matrix.get(tuned_name, 1).num_assertions
+
+
+class TestReports:
+    def test_figure3_and_table1(self, corpus):
+        figure3 = figure3_design_sizes(corpus)
+        assert len(figure3.rows) == 100
+        table1 = table1_design_details(corpus)
+        assert len(table1.rows) == 5
+        assert "ca_prng" in table1.text
+
+    def test_corpus_summary_and_ice_stats(self, corpus, icl_examples):
+        summary = corpus_summary(corpus)
+        assert any("test designs" in row[0] for row in summary.rows)
+        ice = ice_statistics(icl_examples)
+        assert ice.rows[-1][0] == "average"
+
+    def test_figure6_and_7_rendering(self, small_matrix):
+        figure6 = figure6_accuracy(small_matrix, GPT_4O.name)
+        assert "1-shot" in figure6.series and "5-shot" in figure6.series
+        assert "Pass" in figure6.text
+        figure7 = figure7_model_comparison(small_matrix, 1)
+        assert GPT_4O.name in figure7.series
+
+    def test_accuracy_matrix_report(self, small_matrix):
+        report = accuracy_matrix_report(small_matrix, "test")
+        assert len(report.rows) == 4
+
+
+class TestObservations:
+    def test_observation_checks_are_produced(self, small_matrix):
+        checks = all_observations(small_matrix)
+        assert checks
+        assert all(check.summary() for check in checks)
+        observations = {check.observation for check in checks}
+        assert "Observation 3" in observations and "Observation 4" in observations

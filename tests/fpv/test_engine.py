@@ -1,0 +1,143 @@
+"""Unit tests for the formal property verification engine."""
+
+import pytest
+
+from repro.fpv import (
+    EngineConfig,
+    FormalEngine,
+    ProofStatus,
+    TransitionSystem,
+    check_assertion,
+    enumerate_reachable,
+)
+from repro.hdl import Design
+
+
+@pytest.fixture(scope="module")
+def arb2_engine(arb2_design):
+    return FormalEngine(arb2_design)
+
+
+@pytest.fixture(scope="module")
+def counter_engine(counter_design):
+    return FormalEngine(counter_design)
+
+
+class TestVerdicts:
+    def test_proven_assertion(self, arb2_engine):
+        result = arb2_engine.check("(req1 == 1 && req2 == 0) |-> (gnt1 == 1);")
+        assert result.status is ProofStatus.PROVEN
+        assert result.complete
+        assert result.is_pass
+
+    def test_cex_assertion_with_witness(self, arb2_engine):
+        result = arb2_engine.check(
+            "(req2 == 0 && gnt_ == 1) ##1 (req1 == 1) |=> (gnt1 == 1);"
+        )
+        assert result.status is ProofStatus.CEX
+        assert result.counterexample is not None
+        assert result.counterexample.length >= 3
+        assert "gnt1" in result.counterexample.cycles[0]
+
+    def test_vacuous_assertion(self, arb2_engine):
+        result = arb2_engine.check("(gnt_ == 3) |-> (gnt1 == 1);")
+        assert result.status is ProofStatus.VACUOUS
+        assert result.is_pass
+
+    def test_unknown_signal_is_error(self, arb2_engine):
+        result = arb2_engine.check("(phantom == 1) |-> (gnt1 == 1);")
+        assert result.status is ProofStatus.ERROR
+
+    def test_syntax_error_is_error(self, arb2_engine):
+        result = arb2_engine.check("not really sva ===>")
+        assert result.status is ProofStatus.ERROR
+
+    def test_counter_invariant_proven(self, counter_engine):
+        result = counter_engine.check("(count <= 15)")
+        assert result.is_pass
+
+    def test_counter_increment_property(self, counter_engine):
+        result = counter_engine.check("(en == 1 && count == 3) |=> (count == 4);")
+        assert result.status is ProofStatus.CEX or result.status is ProofStatus.PROVEN
+        # with async reset sampled as an input, reset can pre-empt the increment,
+        # so the engine must find the counterexample where rst is asserted
+        assert result.status is ProofStatus.CEX
+
+    def test_counter_increment_with_reset_guard(self, counter_engine):
+        result = counter_engine.check(
+            "(rst == 0 && en == 1 && count == 3) ##1 (rst == 0) |-> (count == 4);"
+        )
+        assert result.status is ProofStatus.PROVEN
+
+    def test_combinational_design_checks(self, adder_design):
+        result = check_assertion(adder_design, "(a == 3 && b == 2) |-> (sum == 5);")
+        assert result.status is ProofStatus.PROVEN
+        result = check_assertion(adder_design, "(a == 15 && b == 1) |-> (carry == 0);")
+        assert result.status is ProofStatus.CEX
+
+    def test_check_all_batch(self, arb2_engine):
+        results = arb2_engine.check_all(
+            ["(req1 == 1 && req2 == 0) |-> (gnt1 == 1);", "garbage in"]
+        )
+        assert [r.status for r in results] == [ProofStatus.PROVEN, ProofStatus.ERROR]
+
+    def test_summary_text(self, arb2_engine):
+        result = arb2_engine.check("(req1 == 1 && req2 == 0) |-> (gnt1 == 1);")
+        assert "PROVEN" in result.summary()
+
+
+class TestSimulationFallback:
+    def test_large_state_design_uses_simulation(self, corpus):
+        design = corpus.design("shift_reg32")
+        engine = FormalEngine(
+            design, EngineConfig(max_state_bits=8, fallback_cycles=128, fallback_seeds=1)
+        )
+        result = engine.check("(shift_en == 0) |=> (stages[0] == stages[0]);")
+        assert result.engine == "simulation"
+        assert result.is_pass
+        assert not result.complete
+
+    def test_simulation_can_find_cex(self, corpus):
+        design = corpus.design("shift_reg32")
+        engine = FormalEngine(
+            design, EngineConfig(max_state_bits=8, fallback_cycles=256, fallback_seeds=2)
+        )
+        result = engine.check("(shift_en == 1) |=> (stages[0] == 0);")
+        assert result.status is ProofStatus.CEX
+
+
+class TestTransitionSystem:
+    def test_reachability_of_counter(self, counter_design):
+        system = TransitionSystem(counter_design)
+        reachability = enumerate_reachable(system)
+        assert reachability.complete
+        assert reachability.count == 16
+
+    def test_initial_state_uses_initial_values(self, counter_design):
+        system = TransitionSystem(counter_design)
+        assert system.initial_state() == (0,)
+
+    def test_step_advances_state(self, counter_design):
+        system = TransitionSystem(counter_design)
+        step = system.step((3,), {"rst": 0, "en": 1})
+        assert step.next_state == (4,)
+        assert step.env["count"] == 3
+
+    def test_step_cache_consistency(self, counter_design):
+        system = TransitionSystem(counter_design)
+        first = system.step((2,), {"rst": 0, "en": 1})
+        second = system.step((2,), {"rst": 0, "en": 1})
+        assert first.next_state == second.next_state
+        assert first.env == second.env
+
+    def test_input_enumeration_size(self, counter_design):
+        system = TransitionSystem(counter_design)
+        assert system.input_space_size == 4
+        assert len(list(system.enumerate_inputs())) == 4
+
+    def test_verdict_counterexample_format(self, arb2_engine):
+        result = arb2_engine.check(
+            "(req2 == 0 && gnt_ == 1) ##1 (req1 == 1) |=> (gnt1 == 1);"
+        )
+        table = result.counterexample.format(["req1", "req2", "gnt1"])
+        assert "req1" in table and "cycle" in table

@@ -1,0 +1,69 @@
+"""Unit tests for assertion checking over simulation traces."""
+
+import pytest
+
+from repro.fpv import TraceChecker, check_on_trace
+from repro.sim import Simulator, Trace
+from repro.sva import parse_assertion
+
+
+@pytest.fixture(scope="module")
+def arb2_trace(arb2_design):
+    return Simulator(arb2_design).run(cycles=300, seed=5)
+
+
+class TestTraceChecker:
+    def test_proven_style_assertion_holds(self, arb2_design, arb2_trace):
+        checker = TraceChecker(arb2_design.model)
+        assertion = parse_assertion("(req1 == 1 && req2 == 0) |-> (gnt1 == 1);")
+        result = checker.check(assertion, arb2_trace)
+        assert result.holds
+        assert result.triggers > 0
+        assert not result.vacuous
+
+    def test_failing_assertion_reports_cycles(self, arb2_design, arb2_trace):
+        checker = TraceChecker(arb2_design.model)
+        assertion = parse_assertion("(req1 == 1) |-> (gnt2 == 1);")
+        result = checker.check(assertion, arb2_trace)
+        assert result.violations > 0
+        assert result.first_violation is not None
+        assert len(result.failed_terms) == result.violations
+
+    def test_vacuous_assertion_detected(self, arb2_design, arb2_trace):
+        checker = TraceChecker(arb2_design.model)
+        assertion = parse_assertion("(gnt_ == 3) |-> (gnt1 == 1);")
+        result = checker.check(assertion, arb2_trace)
+        assert result.vacuous
+        assert result.holds
+
+    def test_temporal_assertion_attempt_window(self, arb2_design):
+        trace = Trace(signals=list(arb2_design.model.signals))
+        base = {name: 0 for name in arb2_design.model.signals}
+        for req1 in (1, 1, 0, 0):
+            row = dict(base)
+            row["req1"] = req1
+            trace.append(row)
+        checker = TraceChecker(arb2_design.model)
+        assertion = parse_assertion("(req1 == 1) ##1 (req1 == 1) |=> (gnt1 == 0);")
+        result = checker.check(assertion, trace)
+        # only start cycles 0..(len-depth-1) are attempted
+        assert result.attempts == len(trace) - assertion.temporal_depth
+        assert result.triggers == 1
+
+    def test_disable_iff_suppresses_attempts(self, arb2_design, arb2_trace):
+        checker = TraceChecker(arb2_design.model)
+        plain = parse_assertion("(req1 == 1) |-> (gnt1 == 1);")
+        disabled = parse_assertion("disable iff (req1) (req1 == 1) |-> (gnt1 == 1);")
+        assert checker.check(disabled, arb2_trace).triggers == 0
+        assert checker.check(plain, arb2_trace).triggers > 0
+
+    def test_check_on_trace_wrapper(self, arb2_design, arb2_trace):
+        assertion = parse_assertion("(req2 == 1 && req1 == 0) |-> (gnt2 == 1);")
+        result = check_on_trace(assertion, arb2_trace, arb2_design.model)
+        assert result.holds
+
+    def test_holds_on_helper(self, arb2_design, arb2_trace):
+        checker = TraceChecker(arb2_design.model)
+        assert checker.holds_on(
+            parse_assertion("(req1 == 0 && req2 == 0) |-> (gnt1 == 0);"), arb2_trace
+        )

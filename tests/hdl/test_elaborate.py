@@ -1,0 +1,120 @@
+"""Unit tests for module elaboration."""
+
+import pytest
+
+from repro.hdl import Design, ElaborationError, elaborate, parse_module
+
+
+class TestSignalsAndParameters:
+    def test_widths_from_ranges_and_parameters(self, counter_design):
+        model = counter_design.model
+        assert model.signals["count"].width == 4
+        assert model.signals["clk"].width == 1
+        assert model.parameters["WIDTH"] == 4
+
+    def test_parameter_override(self):
+        module = parse_module(
+            "module m #(parameter W = 4) (input [W-1:0] d, output [W-1:0] q); assign q = d; endmodule"
+        )
+        model = elaborate(module, {"W": 8})
+        assert model.signals["d"].width == 8
+
+    def test_unknown_parameter_override_raises(self):
+        module = parse_module("module m(a, y); input a; output y; assign y = a; endmodule")
+        with pytest.raises(ElaborationError):
+            elaborate(module, {"NOPE": 1})
+
+    def test_inputs_and_outputs_classified(self, arb2_design):
+        model = arb2_design.model
+        assert set(model.inputs) == {"clk", "rst", "req1", "req2"}
+        assert set(model.outputs) == {"gnt1", "gnt2"}
+
+    def test_integer_declaration_width(self):
+        module = parse_module(
+            "module m(clk, q); input clk; output q; integer i; reg q;"
+            " always @(posedge clk) begin i <= i + 1; q <= i[0]; end endmodule"
+        )
+        model = elaborate(module)
+        assert model.signals["i"].width == 32
+
+
+class TestProcessClassification:
+    def test_state_registers_detected(self, arb2_design):
+        model = arb2_design.model
+        assert model.state_regs == ["gnt_"]
+        assert model.signals["gnt_"].is_state
+        # gnt1/gnt2 are assigned combinationally, not state.
+        assert not model.signals["gnt1"].is_state
+
+    def test_clock_and_reset_detection(self, arb2_design):
+        assert arb2_design.model.clocks == ["clk"]
+        assert arb2_design.model.resets == ["rst"]
+
+    def test_combinational_design_has_no_seq_processes(self, adder_design):
+        model = adder_design.model
+        assert model.seq_processes == []
+        assert not model.is_sequential
+
+    def test_comb_and_seq_process_counts(self, arb2_design):
+        model = arb2_design.model
+        assert len(model.seq_processes) == 1
+        assert len(model.comb_processes) == 1
+
+    def test_state_bits_and_input_bits(self, counter_design):
+        model = counter_design.model
+        assert model.state_bits == 4
+        # clk excluded from free inputs
+        assert set(model.non_clock_inputs) == {"rst", "en"}
+        assert model.input_bits == 2
+
+
+class TestDriverChecks:
+    def test_signal_driven_both_ways_raises(self):
+        source = """
+        module bad(clk, d, q); input clk, d; output q; reg q;
+          assign q = d;
+          always @(posedge clk) q <= d;
+        endmodule
+        """
+        with pytest.raises(ElaborationError):
+            Design.from_source(source)
+
+    def test_driving_an_input_raises(self):
+        source = "module bad(a, y); input a; output y; assign a = y; endmodule"
+        with pytest.raises(ElaborationError):
+            Design.from_source(source)
+
+    def test_assign_to_undeclared_signal_raises(self):
+        source = "module bad(a); input a; assign nothere = a; endmodule"
+        with pytest.raises(ElaborationError):
+            Design.from_source(source)
+
+    def test_undeclared_port_in_header_raises(self):
+        source = "module bad(a, ghost); input a; endmodule"
+        with pytest.raises(ElaborationError):
+            Design.from_source(source)
+
+
+class TestInitialValues:
+    def test_initial_block_sets_register_value(self):
+        source = """
+        module m(clk, q); input clk; output q; reg q;
+          initial q = 1'b1;
+          always @(posedge clk) q <= ~q;
+        endmodule
+        """
+        design = Design.from_source(source)
+        assert design.model.initial_values == {"q": 1}
+
+
+class TestDesignWrapper:
+    def test_loc_counting_and_type(self, arb2_design):
+        assert arb2_design.loc > 10
+        assert arb2_design.design_type == "sequential"
+
+    def test_describe_mentions_name_and_loc(self, counter_design):
+        text = counter_design.describe()
+        assert "counter" in text and "LoC" in text
+
+    def test_signal_names_listing(self, adder_design):
+        assert "sum" in adder_design.signal_names

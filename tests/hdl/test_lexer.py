@@ -1,0 +1,95 @@
+"""Unit tests for the Verilog lexer."""
+
+import pytest
+
+from repro.hdl import LexError, tokenize
+from repro.hdl.tokens import TokenKind
+
+
+def kinds(text):
+    return [tok.kind for tok in tokenize(text)[:-1]]
+
+
+def values(text):
+    return [tok.value for tok in tokenize(text)[:-1]]
+
+
+class TestBasicTokens:
+    def test_identifiers_and_keywords(self):
+        tokens = tokenize("module foo endmodule bar")
+        assert tokens[0].kind is TokenKind.KEYWORD
+        assert tokens[1].kind is TokenKind.IDENT
+        assert tokens[1].value == "foo"
+        assert tokens[2].kind is TokenKind.KEYWORD
+        assert tokens[3].value == "bar"
+
+    def test_eof_token_is_appended(self):
+        tokens = tokenize("a")
+        assert tokens[-1].kind is TokenKind.EOF
+
+    def test_decimal_numbers(self):
+        tokens = tokenize("42 007")
+        assert [t.value for t in tokens[:-1]] == ["42", "007"]
+        assert all(t.kind is TokenKind.NUMBER for t in tokens[:-1])
+
+    def test_based_literals(self):
+        tokens = tokenize("8'hFF 1'b0 4'd12 3'o7")
+        assert all(t.kind is TokenKind.BASED_NUMBER for t in tokens[:-1])
+
+    def test_based_literal_without_size(self):
+        tokens = tokenize("'b1010")
+        assert tokens[0].kind is TokenKind.BASED_NUMBER
+
+    def test_string_literal(self):
+        tokens = tokenize('"hello world"')
+        assert tokens[0].kind is TokenKind.STRING
+        assert tokens[0].value == "hello world"
+
+    def test_dollar_identifiers(self):
+        tokens = tokenize("$display")
+        assert tokens[0].kind is TokenKind.IDENT
+
+
+class TestPunctuation:
+    def test_multi_char_operators(self):
+        assert values("a <= b == c != d && e || f") == [
+            "a", "<=", "b", "==", "c", "!=", "d", "&&", "e", "||", "f",
+        ]
+
+    def test_sva_operators(self):
+        assert "|->" in values("a |-> b")
+        assert "|=>" in values("a |=> b")
+        assert "##" in values("a ##1 b")
+
+    def test_shift_operators(self):
+        assert values("a << 2 >> 1") == ["a", "<<", "2", ">>", "1"]
+
+    def test_single_char_punctuation(self):
+        assert values("(a[3:0])") == ["(", "a", "[", "3", ":", "0", "]", ")"]
+
+
+class TestCommentsAndDirectives:
+    def test_line_comments_are_skipped(self):
+        assert values("a // comment here\nb") == ["a", "b"]
+
+    def test_block_comments_are_skipped(self):
+        assert values("a /* multi\nline */ b") == ["a", "b"]
+
+    def test_unterminated_block_comment_raises(self):
+        with pytest.raises(LexError):
+            tokenize("a /* never closed")
+
+    def test_compiler_directives_are_skipped(self):
+        assert values("`timescale 1ns/1ps\nmodule") == ["module"]
+
+
+class TestPositions:
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("a\n  b")
+        assert tokens[0].line == 1 and tokens[0].column == 1
+        assert tokens[1].line == 2 and tokens[1].column == 3
+
+    def test_unexpected_character_raises_with_position(self):
+        with pytest.raises(LexError) as excinfo:
+            tokenize("a \\ b")
+        assert excinfo.value.line == 1

@@ -1,0 +1,44 @@
+"""Unit tests for cloc-style source metrics."""
+
+from repro.hdl import analyze_source, count_loc
+
+
+class TestLineClassification:
+    def test_blank_and_comment_lines_excluded(self):
+        source = "\n".join(
+            [
+                "module m();",
+                "",
+                "  // a comment",
+                "  wire x;",
+                "  /* block",
+                "     comment */",
+                "endmodule",
+            ]
+        )
+        metrics = analyze_source(source)
+        assert metrics.total_lines == 7
+        assert metrics.blank_lines == 1
+        assert metrics.comment_lines == 3
+        assert metrics.code_lines == 3
+        assert count_loc(source) == 3
+
+    def test_code_with_trailing_comment_counts_as_code(self):
+        assert count_loc("wire x; // trailing") == 1
+
+    def test_inline_block_comment_is_stripped(self):
+        assert count_loc("wire /* inline */ x;") == 1
+
+    def test_block_comment_opening_line_with_code(self):
+        source = "wire x; /* starts here\n still comment */\nwire y;"
+        metrics = analyze_source(source)
+        assert metrics.code_lines == 2
+        assert metrics.comment_lines == 1
+
+    def test_empty_source(self):
+        metrics = analyze_source("")
+        assert metrics.total_lines == 0
+        assert metrics.code_lines == 0
+
+    def test_comment_only_source(self):
+        assert count_loc("// nothing\n/* at all */") == 0

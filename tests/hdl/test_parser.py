@@ -1,0 +1,176 @@
+"""Unit tests for the Verilog parser."""
+
+import pytest
+
+from repro.hdl import (
+    AlwaysBlock,
+    Assignment,
+    Binary,
+    BitSelect,
+    Case,
+    Concat,
+    ContinuousAssign,
+    Identifier,
+    If,
+    NetDecl,
+    Number,
+    ParamDecl,
+    ParseError,
+    PartSelect,
+    PortDecl,
+    Replicate,
+    Ternary,
+    Unary,
+    parse_expression,
+    parse_module,
+    parse_source,
+)
+
+
+class TestExpressions:
+    def test_precedence_of_arithmetic(self):
+        expr = parse_expression("a + b * c")
+        assert isinstance(expr, Binary) and expr.op == "+"
+        assert isinstance(expr.right, Binary) and expr.right.op == "*"
+
+    def test_precedence_of_equality_vs_bitwise(self):
+        expr = parse_expression("a == 1 & b == 0")
+        assert isinstance(expr, Binary) and expr.op == "&"
+        assert expr.left.op == "==" and expr.right.op == "=="
+
+    def test_logical_operators(self):
+        expr = parse_expression("a && b || c")
+        assert expr.op == "||"
+        assert expr.left.op == "&&"
+
+    def test_ternary(self):
+        expr = parse_expression("sel ? a : b")
+        assert isinstance(expr, Ternary)
+
+    def test_unary_reduction_and_not(self):
+        expr = parse_expression("~a & !b")
+        assert isinstance(expr.left, Unary) and expr.left.op == "~"
+        assert isinstance(expr.right, Unary) and expr.right.op == "!"
+
+    def test_bit_and_part_select(self):
+        assert isinstance(parse_expression("data[3]"), BitSelect)
+        assert isinstance(parse_expression("data[7:4]"), PartSelect)
+
+    def test_concatenation_and_replication(self):
+        assert isinstance(parse_expression("{a, b, c}"), Concat)
+        assert isinstance(parse_expression("{4{a}}"), Replicate)
+
+    def test_based_number_value(self):
+        expr = parse_expression("8'hFF")
+        assert isinstance(expr, Number)
+        assert expr.value == 255 and expr.width == 8
+
+    def test_signals_collection(self):
+        expr = parse_expression("(a & b) | data[idx]")
+        assert expr.signals() == {"a", "b", "data", "idx"}
+
+    def test_trailing_junk_raises(self):
+        with pytest.raises(ParseError):
+            parse_expression("a + b extra")
+
+
+class TestModuleStructure:
+    def test_non_ansi_module(self):
+        module = parse_module(
+            "module m(a, b, y); input a, b; output y; assign y = a & b; endmodule"
+        )
+        assert module.name == "m"
+        assert module.port_order == ["a", "b", "y"]
+        assert len(module.items_of(ContinuousAssign)) == 1
+
+    def test_ansi_module_with_parameters(self):
+        source = """
+        module m #(parameter W = 8, parameter D = 2) (
+          input clk,
+          input [W-1:0] d,
+          output reg [W-1:0] q
+        );
+          always @(posedge clk) q <= d;
+        endmodule
+        """
+        module = parse_module(source)
+        assert [p.name for p in module.header_params] == ["W", "D"]
+        assert module.port_order == ["clk", "d", "q"]
+        assert len(module.items_of(AlwaysBlock)) == 1
+
+    def test_multiple_modules_in_source(self):
+        source = "module a(); endmodule module b(); endmodule"
+        parsed = parse_source(source)
+        assert [m.name for m in parsed.modules] == ["a", "b"]
+        assert parsed.module("b").name == "b"
+
+    def test_localparam_and_parameter_items(self):
+        module = parse_module(
+            "module m(); parameter A = 4; localparam B = A + 1; endmodule"
+        )
+        params = module.items_of(ParamDecl)
+        assert [p.name for p in params] == ["A", "B"]
+        assert params[1].local is True
+
+    def test_port_decl_with_reg(self):
+        module = parse_module(
+            "module m(q); output reg [3:0] q; always @(*) q = 0; endmodule"
+        )
+        assert any(isinstance(item, NetDecl) and "q" in item.names for item in module.items)
+
+    def test_missing_semicolon_raises(self):
+        with pytest.raises(ParseError):
+            parse_module("module m(a) input a; endmodule")
+
+    def test_unsupported_item_raises(self):
+        with pytest.raises(ParseError):
+            parse_module("module m(); specify endspecify endmodule")
+
+
+class TestProceduralStatements:
+    def _always_body(self, text):
+        module = parse_module(f"module m(clk, d, q); input clk, d; output q; reg q; {text} endmodule")
+        return module.items_of(AlwaysBlock)[0]
+
+    def test_nonblocking_and_blocking_assignment(self):
+        block = self._always_body("always @(posedge clk) begin q <= d; end")
+        stmt = block.body.statements[0]
+        assert isinstance(stmt, Assignment) and stmt.blocking is False
+        block = self._always_body("always @(*) begin q = d; end")
+        assert block.body.statements[0].blocking is True
+
+    def test_if_else_chain(self):
+        block = self._always_body(
+            "always @(posedge clk) if (d) q <= 1; else q <= 0;"
+        )
+        assert isinstance(block.body, If)
+        assert block.body.else_body is not None
+
+    def test_case_statement_with_default(self):
+        block = self._always_body(
+            """always @(*) case (d)
+                 1'b0: q = 0;
+                 1'b1: q = 1;
+                 default: q = 0;
+               endcase"""
+        )
+        assert isinstance(block.body, Case)
+        assert len(block.body.items) == 2
+        assert block.body.default is not None
+
+    def test_sensitivity_star_forms(self):
+        for form in ("always @(*)", "always @*"):
+            block = self._always_body(f"{form} q = d;")
+            assert block.sensitivity.star is True
+
+    def test_sensitivity_edges(self):
+        block = self._always_body("always @(posedge clk or negedge d) q <= 1;")
+        edges = [(e.edge, e.signal) for e in block.sensitivity.edges]
+        assert ("posedge", "clk") in edges and ("negedge", "d") in edges
+
+    def test_concat_lvalue(self):
+        module = parse_module(
+            "module m(a, b, c); input c; output a, b; assign {a, b} = {c, c}; endmodule"
+        )
+        assign = module.items_of(ContinuousAssign)[0]
+        assert isinstance(assign.target, Concat)

@@ -1,0 +1,188 @@
+"""Unit tests for the LLM substrate: prompts, profiles, generators, fine-tuning."""
+
+import pytest
+
+from repro.llm import (
+    COTS_PROFILES,
+    CODELLAMA_2,
+    DecodingConfig,
+    FINETUNED_PROFILES,
+    FineTuner,
+    FineTuningConfig,
+    GPT_35,
+    GPT_4O,
+    LLAMA3_70B,
+    ModelProfile,
+    NgramModel,
+    OutcomeMix,
+    PromptBuilder,
+    SimulatedCotsLLM,
+    TrainingExample,
+    build_cots_models,
+    competence_from,
+    count_tokens,
+    flatten_verilog,
+    learn_statistics,
+    profile_by_name,
+    split_designs,
+    tokenize_text,
+)
+from repro.llm.assertion_llm import AssertionLLM
+from repro.llm.prompt import InContextExample
+from repro.sva import parse_assertion
+
+
+class TestTokenizer:
+    def test_tokenize_identifiers_operators_literals(self):
+        tokens = tokenize_text("(req1 == 1) |-> (gnt1 == 8'hFF);")
+        assert "req1" in tokens and "|->" in tokens and "8'hFF" in tokens
+
+    def test_count_tokens(self):
+        assert count_tokens("a == b") == 3
+
+    def test_ngram_model_prefers_seen_phrasings(self):
+        model = NgramModel(order=3).fit(
+            ["(req1 == 1) |-> (gnt1 == 1);", "(req2 == 1) |-> (gnt2 == 1);"]
+        )
+        seen = model.sequence_logprob("(req1 == 1) |-> (gnt2 == 1);")
+        unseen = model.sequence_logprob("xyzzy plugh |=> frobnicate;")
+        assert seen > unseen
+
+    def test_ngram_rejects_bad_order(self):
+        with pytest.raises(ValueError):
+            NgramModel(order=1)
+
+
+class TestPrompt:
+    def test_flatten_removes_comments_and_newlines(self):
+        flattened = flatten_verilog("module m(); // comment\n  wire x;\nendmodule\n")
+        assert "\n" not in flattened and "comment" not in flattened
+
+    def test_prompt_structure_matches_figure5(self, arb2_design, counter_design, knowledge):
+        assertions = knowledge.verified_assertions(arb2_design)[:2]
+        example = InContextExample(design=arb2_design, assertions=assertions)
+        prompt = PromptBuilder().build([example], counter_design)
+        assert prompt.k == 1
+        assert "Program 1:" in prompt.text
+        assert "Assertions 1:" in prompt.text
+        assert prompt.text.strip().endswith("Test Assertions:")
+        assert prompt.token_count > 50
+
+    def test_zero_shot_prompt(self, counter_design):
+        prompt = PromptBuilder().build([], counter_design)
+        assert prompt.k == 0
+        assert "Program 1" not in prompt.text
+
+
+class TestProfiles:
+    def test_outcome_mix_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            OutcomeMix(valid=0.5, cex=0.2, error=0.1)
+
+    def test_mix_for_nearest_k(self):
+        assert GPT_35.mix_for(1).valid == pytest.approx(0.18)
+        assert GPT_35.mix_for(3).valid in (GPT_35.mix_for(1).valid, GPT_35.mix_for(5).valid)
+
+    def test_profile_lookup(self):
+        assert profile_by_name("GPT-4o") is GPT_4O
+        with pytest.raises(KeyError):
+            profile_by_name("GPT-7")
+
+    def test_calibration_matches_paper_observations(self):
+        # Observation 1: GPT family improves with k, LLaMa3 regresses.
+        assert GPT_35.mix_for(5).valid > GPT_35.mix_for(1).valid
+        assert GPT_4O.mix_for(5).valid > GPT_4O.mix_for(1).valid
+        assert LLAMA3_70B.mix_for(5).valid < LLAMA3_70B.mix_for(1).valid
+        # Observation 3: GPT-4o has the best intended valid fraction.
+        for k in (1, 5):
+            assert GPT_4O.mix_for(k).valid == max(p.mix_for(k).valid for p in COTS_PROFILES)
+        # Observation 5: fine-tuned CodeLLaMa gains Pass and sheds CEX.
+        tuned = FINETUNED_PROFILES[CODELLAMA_2.name]
+        assert tuned.mix_for(1).valid > CODELLAMA_2.mix_for(1).valid
+        assert tuned.mix_for(1).cex < CODELLAMA_2.mix_for(1).cex
+
+
+class TestSimulatedCots:
+    def test_generation_is_deterministic_per_seed(self, arb2_design, counter_design, knowledge, icl_examples):
+        model = SimulatedCotsLLM(GPT_4O, knowledge)
+        prompt = PromptBuilder().build(icl_examples.for_k(1), counter_design)
+        first = model.generate(prompt, DecodingConfig(seed=50))
+        second = model.generate(prompt, DecodingConfig(seed=50))
+        assert first.lines == second.lines
+        third = model.generate(prompt, DecodingConfig(seed=51))
+        assert third.lines != first.lines or third.num_assertions != first.num_assertions
+
+    def test_generation_count_within_profile_bounds(self, counter_design, knowledge, icl_examples):
+        model = SimulatedCotsLLM(GPT_35, knowledge)
+        prompt = PromptBuilder().build(icl_examples.for_k(5), counter_design)
+        result = model.generate(prompt, DecodingConfig())
+        low, high = GPT_35.assertions_per_design
+        assert low <= result.num_assertions <= high or result.num_assertions == 0
+
+    def test_token_limit_truncates(self, counter_design, knowledge, icl_examples):
+        model = SimulatedCotsLLM(GPT_4O, knowledge)
+        prompt = PromptBuilder().build(icl_examples.for_k(1), counter_design)
+        result = model.generate(prompt, DecodingConfig(max_output_tokens=12))
+        assert result.truncated or result.num_assertions <= 1
+
+    def test_build_cots_models_shares_knowledge(self, knowledge):
+        models = build_cots_models(COTS_PROFILES, knowledge)
+        assert len(models) == 4
+        assert {m.name for m in models} == {p.name for p in COTS_PROFILES}
+
+
+class TestFineTuning:
+    def test_split_designs_fractions(self, corpus):
+        designs = corpus.test_designs(limit=20)
+        train, test = split_designs(designs, 0.75, seed=50)
+        assert len(train) == 15 and len(test) == 5
+        assert not {d.name for d in train} & {d.name for d in test}
+
+    def test_split_designs_invalid_fraction(self, corpus):
+        with pytest.raises(ValueError):
+            split_designs(corpus.test_designs(limit=4), 1.5, seed=0)
+
+    def test_competence_curve_monotone_and_saturating(self):
+        config = FineTuningConfig()
+        none = competence_from(0, 20, config)
+        some = competence_from(10, 20, config)
+        full = competence_from(75, 20, config)
+        assert none == 0.0
+        assert 0.0 < some < full <= 1.0
+
+    def test_learn_statistics(self, arb2_design, knowledge):
+        assertions = knowledge.verified_assertions(arb2_design)
+        stats = learn_statistics([TrainingExample(arb2_design, assertions)])
+        assert stats.num_examples == 1
+        assert stats.num_assertions == len(assertions)
+        assert stats.implication_preference() in ("|->", "|=>")
+        assert stats.ngram.vocabulary_size > 0
+
+    def test_finetuner_produces_assertion_llm(self, corpus, knowledge):
+        tuner = FineTuner(knowledge, FineTuningConfig(train_fraction=0.75, seed=50))
+        designs = corpus.test_designs(limit=8)
+        model, report = tuner.finetune(CODELLAMA_2, designs)
+        assert isinstance(model, AssertionLLM)
+        assert report.num_train_designs + report.num_test_designs == 8
+        assert 0.0 < model.competence <= 1.0
+        assert model.name == FINETUNED_PROFILES[CODELLAMA_2.name].name
+
+    def test_unknown_foundation_rejected(self, knowledge):
+        stats = learn_statistics([])
+        with pytest.raises(KeyError):
+            AssertionLLM(foundation=GPT_35, statistics=stats, competence=1.0, knowledge=knowledge)
+
+    def test_zero_competence_matches_foundation_mix(self, knowledge):
+        stats = learn_statistics([])
+        model = AssertionLLM(
+            foundation=CODELLAMA_2, statistics=stats, competence=0.0, knowledge=knowledge
+        )
+        assert model.profile.mix_for(1).valid == pytest.approx(CODELLAMA_2.mix_for(1).valid)
+
+    def test_full_competence_matches_tuned_mix(self, knowledge):
+        stats = learn_statistics([])
+        model = AssertionLLM(
+            foundation=CODELLAMA_2, statistics=stats, competence=1.0, knowledge=knowledge
+        )
+        tuned = FINETUNED_PROFILES[CODELLAMA_2.name]
+        assert model.profile.mix_for(5).valid == pytest.approx(tuned.mix_for(5).valid)

@@ -1,0 +1,101 @@
+"""Unit tests for expression evaluation semantics."""
+
+import pytest
+
+from repro.hdl import parse_expression
+from repro.sim import EvalError, ExprEvaluator
+
+
+@pytest.fixture()
+def evaluator(adder_design):
+    return ExprEvaluator(adder_design.model)
+
+
+@pytest.fixture()
+def env(adder_design):
+    env = {name: 0 for name in adder_design.model.signals}
+    env.update({"a": 0b1010, "b": 0b0011})
+    return env
+
+
+def ev(evaluator, env, text):
+    return evaluator.eval(parse_expression(text), env)
+
+
+class TestArithmetic:
+    def test_add_sub_and_masking(self, evaluator, env):
+        assert ev(evaluator, env, "a + b") == 13
+        assert ev(evaluator, env, "a - b") == 7
+        # subtraction wraps within the operand width plus carry headroom
+        assert ev(evaluator, env, "b - a") == (3 - 10) & 0x1F
+
+    def test_addition_keeps_carry_headroom(self, evaluator, env):
+        env["a"], env["b"] = 15, 2
+        assert ev(evaluator, env, "a + b") == 17
+
+    def test_mul_div_mod(self, evaluator, env):
+        assert ev(evaluator, env, "a * b") == 30
+        assert ev(evaluator, env, "a / b") == 3
+        assert ev(evaluator, env, "a % b") == 1
+
+    def test_division_by_zero_is_all_ones(self, evaluator, env):
+        env["b"] = 0
+        assert ev(evaluator, env, "a / b") == 0xF
+
+
+class TestBitwiseAndLogical:
+    def test_bitwise_ops(self, evaluator, env):
+        assert ev(evaluator, env, "a & b") == 0b0010
+        assert ev(evaluator, env, "a | b") == 0b1011
+        assert ev(evaluator, env, "a ^ b") == 0b1001
+
+    def test_not_and_negation_masked(self, evaluator, env):
+        assert ev(evaluator, env, "~a") == 0b0101
+        assert ev(evaluator, env, "-a") == (-10) & 0xF
+
+    def test_logical_ops_return_bits(self, evaluator, env):
+        assert ev(evaluator, env, "a && b") == 1
+        assert ev(evaluator, env, "a && 0") == 0
+        assert ev(evaluator, env, "0 || b") == 1
+        assert ev(evaluator, env, "!a") == 0
+
+    def test_reduction_operators(self, evaluator, env):
+        assert ev(evaluator, env, "&a") == 0
+        env["a"] = 0xF
+        assert ev(evaluator, env, "&a") == 1
+        assert ev(evaluator, env, "|a") == 1
+        assert ev(evaluator, env, "^b") == 0  # 0b0011 has even parity
+
+
+class TestComparisonsAndSelects:
+    def test_comparisons(self, evaluator, env):
+        assert ev(evaluator, env, "a > b") == 1
+        assert ev(evaluator, env, "a <= b") == 0
+        assert ev(evaluator, env, "a == 10") == 1
+        assert ev(evaluator, env, "a != 10") == 0
+
+    def test_bit_select_and_part_select(self, evaluator, env):
+        assert ev(evaluator, env, "a[3]") == 1
+        assert ev(evaluator, env, "a[0]") == 0
+        assert ev(evaluator, env, "a[3:2]") == 0b10
+
+    def test_concat_and_replicate(self, evaluator, env):
+        assert ev(evaluator, env, "{a[0], b[0]}") == 0b01
+        assert ev(evaluator, env, "{2{b[0]}}") == 0b11
+
+    def test_ternary(self, evaluator, env):
+        assert ev(evaluator, env, "a > b ? 5 : 6") == 5
+
+    def test_shifts(self, evaluator, env):
+        assert ev(evaluator, env, "b << 1") == 6
+        assert ev(evaluator, env, "a >> 2") == 2
+
+    def test_unknown_signal_raises(self, evaluator, env):
+        with pytest.raises(EvalError):
+            ev(evaluator, env, "ghost == 1")
+
+    def test_width_inference(self, evaluator):
+        assert evaluator.width_of(parse_expression("a")) == 4
+        assert evaluator.width_of(parse_expression("a[0]")) == 1
+        assert evaluator.width_of(parse_expression("{a, b}")) == 8
+        assert evaluator.width_of(parse_expression("a == b")) == 1

@@ -1,0 +1,141 @@
+"""Unit tests for the cycle-accurate simulator."""
+
+import pytest
+
+from repro.hdl import Design
+from repro.sim import (
+    CombinationalLoopError,
+    DirectedStimulus,
+    ExhaustiveStimulus,
+    RandomStimulus,
+    ResetSequenceStimulus,
+    Simulator,
+    WalkingOnesStimulus,
+    default_stimulus,
+    simulate,
+)
+
+
+class TestCombinationalBehaviour:
+    def test_adder_computes_sum(self, adder_design):
+        sim = Simulator(adder_design)
+        snapshot = sim.step({"a": 5, "b": 7})
+        assert snapshot["sum"] == 12
+        assert snapshot["carry"] == 0
+
+    def test_adder_carry_out(self, adder_design):
+        sim = Simulator(adder_design)
+        snapshot = sim.step({"a": 15, "b": 2})
+        assert snapshot["sum"] == 1
+        assert snapshot["carry"] == 1
+
+    def test_input_masking_to_width(self, adder_design):
+        sim = Simulator(adder_design)
+        snapshot = sim.step({"a": 0x1F, "b": 0})  # 5 bits driven into 4-bit port
+        assert snapshot["a"] == 0xF
+
+    def test_unknown_input_rejected(self, adder_design):
+        sim = Simulator(adder_design)
+        with pytest.raises(Exception):
+            sim.apply_inputs({"nonexistent": 1})
+
+    def test_combinational_loop_detection(self):
+        source = "module loopy(y); output y; wire a; assign a = ~a; assign y = a; endmodule"
+        design = Design.from_source(source)
+        with pytest.raises(CombinationalLoopError):
+            Simulator(design)
+
+
+class TestSequentialBehaviour:
+    def test_counter_counts_when_enabled(self, counter_design):
+        sim = Simulator(counter_design)
+        sim.step({"rst": 1, "en": 0})
+        for _ in range(5):
+            sim.step({"rst": 0, "en": 1})
+        assert sim.env["count"] == 5
+
+    def test_counter_holds_when_disabled(self, counter_design):
+        sim = Simulator(counter_design)
+        sim.step({"rst": 1, "en": 0})
+        sim.step({"rst": 0, "en": 1})
+        value = sim.env["count"]
+        sim.step({"rst": 0, "en": 0})
+        assert sim.env["count"] == value
+
+    def test_counter_wraps_at_width(self, counter_design):
+        sim = Simulator(counter_design)
+        sim.step({"rst": 1, "en": 0})
+        for _ in range(16):
+            sim.step({"rst": 0, "en": 1})
+        assert sim.env["count"] == 0
+
+    def test_reset_clears_state(self, counter_design):
+        sim = Simulator(counter_design)
+        sim.step({"rst": 0, "en": 1})
+        sim.step({"rst": 1, "en": 0})
+        assert sim.env["count"] == 0
+
+    def test_arbiter_priority_behaviour(self, arb2_design):
+        sim = Simulator(arb2_design)
+        sim.step({"rst": 1, "req1": 0, "req2": 0})
+        snapshot = sim.step({"rst": 0, "req1": 1, "req2": 0})
+        assert snapshot["gnt1"] == 1 and snapshot["gnt2"] == 0
+
+    def test_load_and_read_registers(self, counter_design):
+        sim = Simulator(counter_design)
+        sim.load_state({"count": 9})
+        assert sim.registers() == {"count": 9}
+
+
+class TestTraceRuns:
+    def test_run_produces_requested_cycles(self, counter_design):
+        trace = Simulator(counter_design).run(cycles=25, seed=3)
+        assert trace.num_cycles == 25
+        assert set(trace.signals) == set(counter_design.model.signals)
+
+    def test_run_vectors_directed(self, counter_design):
+        vectors = [{"rst": 1, "en": 0}] + [{"rst": 0, "en": 1}] * 3
+        trace = Simulator(counter_design).run_vectors(vectors)
+        assert trace.num_cycles == 4
+        assert trace.column("count")[-1] >= 2
+
+    def test_simulate_convenience(self, adder_design):
+        trace = simulate(adder_design, cycles=10)
+        assert trace.num_cycles == 10
+
+    def test_deterministic_under_same_seed(self, counter_design):
+        t1 = Simulator(counter_design).run(cycles=30, seed=11)
+        t2 = Simulator(counter_design).run(cycles=30, seed=11)
+        assert t1.data == t2.data
+
+
+class TestStimulus:
+    def test_random_stimulus_respects_widths(self, counter_design):
+        vectors = list(RandomStimulus(seed=1).vectors(counter_design.model, 20))
+        assert len(vectors) == 20
+        assert all(v["en"] in (0, 1) for v in vectors)
+
+    def test_directed_stimulus_cycles_patterns(self, counter_design):
+        stim = DirectedStimulus([{"en": 1}, {"en": 0}])
+        vectors = list(stim.vectors(counter_design.model, 4))
+        assert [v["en"] for v in vectors] == [1, 0, 1, 0]
+
+    def test_exhaustive_stimulus_covers_space(self, adder_design):
+        stim = ExhaustiveStimulus()
+        vectors = list(stim.vectors(adder_design.model, 256))
+        assert len(vectors) == 256
+        assert len({(v["a"], v["b"]) for v in vectors}) == 256
+
+    def test_walking_ones(self, adder_design):
+        vectors = list(WalkingOnesStimulus().vectors(adder_design.model, 4))
+        assert [v["a"] for v in vectors] == [1, 2, 4, 8]
+
+    def test_reset_sequence_wrapper(self, counter_design):
+        stim = ResetSequenceStimulus(RandomStimulus(seed=0), reset_cycles=3)
+        vectors = list(stim.vectors(counter_design.model, 6))
+        assert all(v["rst"] == 1 for v in vectors[:3])
+        assert all(v["rst"] == 0 for v in vectors[3:])
+
+    def test_default_stimulus_choice(self, adder_design, counter_design):
+        assert isinstance(default_stimulus(adder_design.model), ExhaustiveStimulus)
+        assert isinstance(default_stimulus(counter_design.model), ResetSequenceStimulus)

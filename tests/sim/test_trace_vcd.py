@@ -1,0 +1,76 @@
+"""Unit tests for the trace container and VCD export."""
+
+import io
+
+import pytest
+
+from repro.sim import Simulator, Trace, write_vcd
+
+
+@pytest.fixture()
+def small_trace():
+    trace = Trace(signals=["a", "b"], design_name="t")
+    trace.append({"a": 0, "b": 1})
+    trace.append({"a": 1, "b": 1})
+    trace.append({"a": 1, "b": 0})
+    return trace
+
+
+class TestTrace:
+    def test_length_and_values(self, small_trace):
+        assert len(small_trace) == 3
+        assert small_trace.value("a", 1) == 1
+        assert small_trace.column("b") == [1, 1, 0]
+
+    def test_row_and_rows(self, small_trace):
+        assert small_trace.row(0) == {"a": 0, "b": 1}
+        assert len(list(small_trace.rows())) == 3
+
+    def test_missing_signal_in_append_raises(self, small_trace):
+        with pytest.raises(KeyError):
+            small_trace.append({"a": 1})
+
+    def test_window(self, small_trace):
+        window = small_trace.window(1, 2)
+        assert window.num_cycles == 2
+        assert window.column("a") == [1, 1]
+
+    def test_extend_requires_same_signals(self, small_trace):
+        other = Trace(signals=["a"])
+        other.append({"a": 0})
+        with pytest.raises(ValueError):
+            small_trace.extend(other)
+
+    def test_extend_appends_cycles(self, small_trace):
+        other = Trace(signals=["a", "b"])
+        other.append({"a": 0, "b": 0})
+        small_trace.extend(other)
+        assert small_trace.num_cycles == 4
+
+    def test_distinct_values_and_toggles(self, small_trace):
+        assert small_trace.distinct_values("a") == [0, 1]
+        assert small_trace.toggle_count("a") == 1
+        assert small_trace.toggle_count("b") == 1
+
+    def test_summary(self, small_trace):
+        summary = small_trace.summary()
+        assert summary["a"]["max"] == 1
+        assert summary["b"]["toggles"] == 1
+
+
+class TestVcd:
+    def test_vcd_contains_declarations_and_changes(self, counter_design):
+        trace = Simulator(counter_design).run(cycles=8, seed=1)
+        buffer = io.StringIO()
+        write_vcd(trace, buffer, model=counter_design.model)
+        text = buffer.getvalue()
+        assert "$enddefinitions" in text
+        assert "$var wire 4" in text  # the 4-bit counter register
+        assert "#0" in text and "#70" in text
+
+    def test_vcd_single_bit_format(self, small_trace):
+        buffer = io.StringIO()
+        write_vcd(small_trace, buffer)
+        lines = buffer.getvalue().splitlines()
+        # single-bit signals are dumped as <value><id> with no space
+        assert any(line.startswith(("0", "1")) and " " not in line for line in lines if line and line[0] in "01")

@@ -1,0 +1,122 @@
+"""Unit tests for assertion binding and the syntax corrector."""
+
+import pytest
+
+from repro.sva import (
+    SvaBindingError,
+    SyntaxCorrector,
+    bind,
+    check_semantics,
+    correct_assertion,
+    parse_assertion,
+    referenced_state_signals,
+)
+
+
+class TestBinding:
+    def test_valid_binding(self, arb2_design):
+        assertion = parse_assertion("(req1 == 1) |-> (gnt1 == 1);")
+        report = bind(assertion, arb2_design)
+        assert report.ok
+        assert report.unknown_signals == []
+
+    def test_unknown_signal_reported(self, arb2_design):
+        assertion = parse_assertion("(reqX == 1) |-> (gnt1 == 1);")
+        report = bind(assertion, arb2_design)
+        assert not report.ok
+        assert report.unknown_signals == ["reqX"]
+        with pytest.raises(SvaBindingError):
+            report.raise_if_failed()
+
+    def test_out_of_range_bit_select(self, counter_design):
+        assertion = parse_assertion("(count[7] == 1) |-> (count[0] == 1);")
+        report = bind(assertion, counter_design)
+        assert not report.ok
+        assert report.out_of_range_selects
+
+    def test_unknown_clock_reported(self, arb2_design):
+        assertion = parse_assertion(
+            "assert property (@(posedge clk2) (req1 == 1) |-> (gnt1 == 1));"
+        )
+        assert not bind(assertion, arb2_design).ok
+
+    def test_clock_defaults_to_design_clock(self, arb2_design):
+        assertion = parse_assertion("(req1 == 1) |=> (gnt_ == 1);")
+        report = bind(assertion, arb2_design)
+        assert report.ok
+        assert report.clock == "clk"
+
+    def test_check_semantics_raises_on_failure(self, arb2_design):
+        with pytest.raises(SvaBindingError):
+            check_semantics(parse_assertion("(ghost == 1) |-> (gnt1 == 1);"), arb2_design)
+
+    def test_referenced_state_signals(self, arb2_design):
+        assertion = parse_assertion("(gnt_ == 1 && req1 == 1) |-> (gnt1 == 0);")
+        assert referenced_state_signals(assertion, arb2_design) == {"gnt_"}
+
+    def test_parameters_are_known_names(self, counter_design):
+        assertion = parse_assertion("(count == WIDTH) |-> (count != 0);")
+        assert bind(assertion, counter_design).ok
+
+
+class TestCorrector:
+    def test_already_valid_text_untouched(self, arb2_design):
+        result = correct_assertion("(req1 == 1) |-> (gnt1 == 1);", arb2_design)
+        assert result.ok
+        assert result.applied_rules == []
+
+    def test_fixes_implication_and_equality(self, arb2_design):
+        result = correct_assertion("(req1 = 1 & req2 = 0) -> (gnt1 = 1)", arb2_design)
+        assert result.ok
+        assert result.assertion.implication == "|->"
+        assert "fix_implication" in result.applied_rules
+        assert "fix_equality" in result.applied_rules
+
+    def test_strips_numbering_and_markdown(self, arb2_design):
+        result = correct_assertion("1. ```(req1 == 1) |-> (gnt1 == 1);```", arb2_design)
+        assert result.ok
+
+    def test_flattens_property_block(self, arb2_design):
+        text = (
+            "property p1; (req1 == 1) |-> (gnt1 == 1); endproperty "
+            "assert property(p1);"
+        )
+        result = correct_assertion(text, arb2_design)
+        assert result.ok
+
+    def test_balances_parentheses(self, arb2_design):
+        result = correct_assertion("((req1 == 1) |-> (gnt1 == 1);", arb2_design)
+        assert result.ok
+
+    def test_resolves_close_signal_names(self, arb2_design):
+        result = correct_assertion("(req_1 == 1) |-> (gnt1 == 1);", arb2_design)
+        # req_1 is close enough to req1 for fuzzy resolution
+        assert result.ok
+        assert "req1" in result.assertion.signals()
+
+    def test_unfixable_prose_reports_error(self, arb2_design):
+        result = correct_assertion(
+            "public static void main(String[] args) { }", arb2_design
+        )
+        assert not result.ok
+        assert result.error
+
+    def test_unknown_signals_survive_correction(self, arb2_design):
+        # Binding is not the corrector's job: the text parses, so it is "ok"
+        # here, and the FPV engine will later classify it as an error.
+        result = correct_assertion("(dbg_scan_chain == 1) |-> (gnt1 == 1);", arb2_design)
+        assert result.ok
+        assert "dbg_scan_chain" in result.assertion.signals()
+
+    def test_correct_all_batch(self, arb2_design):
+        corrector = SyntaxCorrector(design=arb2_design)
+        results = corrector.correct_all(
+            ["(req1 == 1) |-> (gnt1 == 1);", "(req1 = 1) -> (gnt1 = 1)"]
+        )
+        assert len(results) == 2
+        assert all(r.ok for r in results)
+
+    def test_fixes_delay_spelling(self, arb2_design):
+        result = correct_assertion("(req1 == 1) #1 (req2 == 1) |-> (gnt1 == 0);", arb2_design)
+        assert result.ok
+        assert result.assertion.antecedent_depth == 1

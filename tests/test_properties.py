@@ -1,0 +1,111 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hdl import Design, parse_expression
+from repro.hdl.metrics import analyze_source
+from repro.sim import ExprEvaluator, Simulator, Trace
+from repro.sva import AssertionSignature, parse_assertion
+from repro.sva.model import OVERLAPPED, Assertion, SequenceTerm
+from repro.fpv import TraceChecker
+from repro.llm import count_tokens, flatten_verilog
+
+_ADDER = Design.from_source(
+    "module padder(a, b, sum, carry); input [3:0] a, b; output [3:0] sum;"
+    " output carry; wire [4:0] t; assign t = a + b; assign sum = t[3:0];"
+    " assign carry = t[4]; endmodule",
+    name="padder",
+)
+
+_COUNTER = Design.from_source(
+    "module pcounter(clk, rst, en, count); input clk, rst, en;"
+    " output reg [3:0] count; always @(posedge clk or posedge rst)"
+    " if (rst) count <= 0; else if (en) count <= count + 1; endmodule",
+    name="pcounter",
+)
+
+nibbles = st.integers(min_value=0, max_value=15)
+bits = st.integers(min_value=0, max_value=1)
+
+
+class TestEvaluatorProperties:
+    @given(a=nibbles, b=nibbles)
+    @settings(max_examples=60, deadline=None)
+    def test_adder_matches_python_arithmetic(self, a, b):
+        snapshot = Simulator(_ADDER).step({"a": a, "b": b})
+        assert snapshot["sum"] == (a + b) & 0xF
+        assert snapshot["carry"] == ((a + b) >> 4) & 1
+
+    @given(a=nibbles, b=nibbles)
+    @settings(max_examples=60, deadline=None)
+    def test_expression_evaluation_is_pure(self, a, b):
+        evaluator = ExprEvaluator(_ADDER.model)
+        env = {name: 0 for name in _ADDER.model.signals}
+        env.update({"a": a, "b": b})
+        expr = parse_expression("(a ^ b) | (a & b)")
+        first = evaluator.eval(expr, env)
+        second = evaluator.eval(expr, env)
+        assert first == second
+        assert 0 <= first <= 0xF
+
+    @given(values=st.lists(st.tuples(bits, bits), min_size=1, max_size=30))
+    @settings(max_examples=40, deadline=None)
+    def test_counter_never_exceeds_width(self, values):
+        sim = Simulator(_COUNTER)
+        sim.step({"rst": 1, "en": 0})
+        for rst, en in values:
+            sim.step({"rst": rst, "en": en})
+            assert 0 <= sim.env["count"] <= 15
+
+
+class TestSvaProperties:
+    @given(
+        antecedent_value=bits,
+        consequent_value=bits,
+        offset=st.integers(min_value=0, max_value=3),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_assertion_round_trip_preserves_signature(self, antecedent_value, consequent_value, offset):
+        assertion = Assertion(
+            antecedent=[SequenceTerm(0, parse_expression(f"a == {antecedent_value}"))],
+            consequent=[SequenceTerm(offset, parse_expression(f"b == {consequent_value}"))],
+            implication=OVERLAPPED,
+        )
+        reparsed = parse_assertion(assertion.to_sva())
+        assert AssertionSignature.of(reparsed) == AssertionSignature.of(assertion)
+        assert reparsed.temporal_depth == assertion.temporal_depth
+
+    @given(columns=st.lists(st.tuples(bits, bits, bits), min_size=4, max_size=40))
+    @settings(max_examples=40, deadline=None)
+    def test_trace_checker_trigger_violation_consistency(self, columns):
+        """Violations never exceed triggers, and both never exceed attempts."""
+        trace = Trace(signals=list(_COUNTER.model.signals))
+        for rst, en, bit in columns:
+            row = {name: 0 for name in _COUNTER.model.signals}
+            row.update({"rst": rst, "en": en, "count": bit})
+            trace.append(row)
+        checker = TraceChecker(_COUNTER.model)
+        assertion = parse_assertion("(en == 1) |-> (count == 1);")
+        result = checker.check(assertion, trace)
+        assert 0 <= result.violations <= result.triggers <= result.attempts
+        assert result.attempts == trace.num_cycles
+
+
+class TestTextProperties:
+    @given(st.text(alphabet=st.characters(blacklist_categories=("Cs",)), max_size=200))
+    @settings(max_examples=60, deadline=None)
+    def test_token_count_is_non_negative_and_stable(self, text):
+        assert count_tokens(text) >= 0
+        assert count_tokens(text) == count_tokens(text)
+
+    @given(st.text(alphabet="aw x;/*\n", max_size=120))
+    @settings(max_examples=60, deadline=None)
+    def test_line_classification_partitions_lines(self, source):
+        metrics = analyze_source(source)
+        assert metrics.code_lines + metrics.comment_lines + metrics.blank_lines == metrics.total_lines
+
+    @given(st.text(alphabet="mod ulewirex;()\n//", max_size=120))
+    @settings(max_examples=40, deadline=None)
+    def test_flatten_verilog_removes_newlines(self, source):
+        assert "\n" not in flatten_verilog(source)
