@@ -3,9 +3,16 @@
 The expensive campaign artefacts (corpus, knowledge base, COTS matrix,
 fine-tuned matrix) are built once per session on a representative subset of
 the benchmark; every per-figure benchmark then regenerates its table/series
-from them and prints the reproduced rows.  Set the environment variable
-``REPRO_FULL=1`` to run the campaigns over the full 100-design test set
-(slower, paper-scale).
+from them and prints the reproduced rows.
+
+Environment knobs:
+
+* ``REPRO_FULL=1`` — run the campaigns over the full 100-design test set
+  (slower, paper-scale).
+* ``REPRO_FPV_WORKERS=N`` — fan FPV design batches out over N worker
+  processes through the :class:`~repro.core.scheduler.VerificationService`.
+* ``REPRO_EVAL_BACKEND=interpreted`` — fall back to the tree-walking
+  reference backend instead of compiled expression kernels.
 """
 
 from __future__ import annotations
@@ -25,7 +32,8 @@ def suite() -> ExperimentSuite:
         num_cots_designs=None if _FULL else 12,
         num_finetune_designs=None if _FULL else 20,
     )
-    return ExperimentSuite(config)
+    with ExperimentSuite(config) as experiment_suite:
+        yield experiment_suite
 
 
 @pytest.fixture(scope="session")

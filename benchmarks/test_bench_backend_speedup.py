@@ -1,0 +1,134 @@
+"""Substrate benchmark: the three-layer verification backend end to end.
+
+Compares the seed configuration (interpreted expression evaluation, one
+``check()`` per assertion, one core) against the refactored backend
+(compiled kernels, one batched sweep per design, design-level batches fanned
+out over worker processes) on a 50-assertion workload over the most
+expensive ``bench/designs`` entries — the largest simulation-falsification
+designs plus the explicit-state designs with the deepest state × input
+sweeps.
+
+The measured wall times are written to ``BENCH_backend_speedup.json`` so the
+perf trajectory is tracked from PR to PR (CI uploads the file as an
+artifact).  Set ``REPRO_SMOKE=1`` for a reduced smoke run that only sanity
+checks the plumbing (CI machines are too noisy for a strict ratio).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+import pytest
+
+from repro.core import SchedulerConfig, VerificationService
+from repro.fpv import EngineConfig, FormalEngine
+from repro.hdl.design import Design
+from repro.sim import COMPILED, INTERPRETED
+
+_SMOKE = os.environ.get("REPRO_SMOKE", "0") == "1"
+
+#: The most expensive corpus entries: the two largest simulation-fallback
+#: designs by LoC and the three explicit-state designs with the deepest
+#: reachable-state × input sweeps.
+_DESIGNS = ["ca_prng", "ge_prng_mid", "watchdog4", "pwm4", "eth_clockgen"]
+_PER_DESIGN = 2 if _SMOKE else 10
+_WORKERS = 4
+#: Smoke mode only sanity-checks the plumbing: the workload is too small for
+#: a wall-time ratio to be meaningful on a noisy shared runner.
+_MIN_SPEEDUP = None if _SMOKE else 3.0
+
+_ENGINE_KWARGS = dict(fallback_cycles=128 if _SMOKE else 512, fallback_seeds=1)
+
+_REPORT_PATH = Path(__file__).resolve().parent.parent / "BENCH_backend_speedup.json"
+
+
+def _assertions(design: Design, count: int) -> List[str]:
+    """Distinct, well-formed assertions exercising depth-0..2 obligations."""
+    model = design.model
+    out = (model.outputs or list(model.signals))[0]
+    mask = model.signals[out].mask
+    inputs = model.non_clock_inputs
+    texts = []
+    for j in range(count):
+        bound = max(0, mask - (j % max(mask, 1)))
+        if not inputs:
+            texts.append(f"({out} <= {bound});")
+            continue
+        inp = inputs[j % len(inputs)]
+        if j % 3 == 0:
+            texts.append(f"({inp} >= 0) |-> ({out} <= {bound});")
+        elif j % 3 == 1:
+            texts.append(f"({inp} == 0) |=> ({out} <= {bound});")
+        else:
+            texts.append(f"({inp} == 0) ##1 ({inp} == 0) |=> ({out} <= {bound});")
+    return texts
+
+
+def _jobs(suite) -> List[Tuple[Design, List[str]]]:
+    jobs = []
+    for name in _DESIGNS:
+        design = suite.corpus.design(name)
+        jobs.append((design, _assertions(design, _PER_DESIGN)))
+    return jobs
+
+
+def _interpreted_serial(jobs) -> Tuple[List[List], float]:
+    """The seed flow: interpreted kernels, one check() per assertion."""
+    start = time.perf_counter()
+    results = []
+    for design, texts in jobs:
+        engine = FormalEngine(
+            design, EngineConfig(backend=INTERPRETED, **_ENGINE_KWARGS)
+        )
+        results.append([engine.check(text) for text in texts])
+    return results, time.perf_counter() - start
+
+
+def _compiled_batched_parallel(jobs) -> Tuple[List[List], float]:
+    """The refactored flow: compiled kernels, batched FPV, 4 workers."""
+    start = time.perf_counter()
+    config = SchedulerConfig(
+        engine=EngineConfig(backend=COMPILED, **_ENGINE_KWARGS), workers=_WORKERS
+    )
+    with VerificationService(config) as service:
+        results = service.check_many(jobs)
+    return results, time.perf_counter() - start
+
+
+def test_backend_speedup(suite):
+    jobs = _jobs(suite)
+    total = sum(len(texts) for _, texts in jobs)
+
+    baseline, baseline_s = _interpreted_serial(jobs)
+    refactored, refactored_s = _compiled_batched_parallel(jobs)
+
+    # The speedup must not come from changed semantics.
+    for (design, _), base_batch, fast_batch in zip(jobs, baseline, refactored):
+        assert [r.status for r in base_batch] == [r.status for r in fast_batch], design.name
+        assert [r.complete for r in base_batch] == [r.complete for r in fast_batch], design.name
+
+    speedup = baseline_s / refactored_s if refactored_s else float("inf")
+    report = {
+        "benchmark": "backend_speedup",
+        "designs": _DESIGNS,
+        "assertions": total,
+        "workers": _WORKERS,
+        "smoke": _SMOKE,
+        "interpreted_serial_s": round(baseline_s, 3),
+        "compiled_batched_parallel_s": round(refactored_s, 3),
+        "speedup": round(speedup, 2),
+    }
+    _REPORT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\nbackend speedup: {speedup:.2f}x "
+          f"({baseline_s:.2f}s interpreted-serial → {refactored_s:.2f}s "
+          f"compiled-batched-parallel, {total} assertions, {_WORKERS} workers)")
+
+    if _MIN_SPEEDUP is not None:
+        assert speedup >= _MIN_SPEEDUP, (
+            f"expected ≥{_MIN_SPEEDUP}x speedup, measured {speedup:.2f}x "
+            f"(baseline {baseline_s:.2f}s, refactored {refactored_s:.2f}s)"
+        )

@@ -20,7 +20,13 @@ from .metrics import (
     categorize,
 )
 from .observations import ObservationCheck, all_observations
-from .pipeline import EvaluationPipeline, PipelineConfig, VerdictCache
+from .pipeline import EvaluationPipeline, PipelineConfig
+from .scheduler import (
+    SchedulerConfig,
+    VerdictCache,
+    VerificationService,
+    default_workers,
+)
 from .reports import (
     FigureSeries,
     TableReport,
@@ -53,10 +59,13 @@ __all__ = [
     "ObservationCheck",
     "PASS",
     "PipelineConfig",
+    "SchedulerConfig",
     "SuiteConfig",
     "SuiteResults",
     "TableReport",
     "VerdictCache",
+    "VerificationService",
+    "default_workers",
     "accuracy_matrix_report",
     "all_observations",
     "categorize",

@@ -19,6 +19,7 @@ from ..llm.finetune import FineTuner, FineTuningConfig, FineTuningReport
 from ..llm.profiles import CODELLAMA_2, LLAMA3_70B, ModelProfile
 from .metrics import EvaluationMatrix, ModelKshotResult
 from .pipeline import EvaluationPipeline, PipelineConfig
+from .scheduler import VerificationService
 
 
 @dataclass
@@ -51,12 +52,13 @@ class FinetuneEvaluator:
         knowledge: Optional[DesignKnowledgeBase] = None,
         examples: Optional[IclExampleSet] = None,
         config: Optional[FinetuneEvaluationConfig] = None,
+        service: Optional[VerificationService] = None,
     ):
         self.corpus = corpus or AssertionBenchCorpus()
         self.knowledge = knowledge or DesignKnowledgeBase()
         self.config = config or FinetuneEvaluationConfig()
         self.examples = examples or build_icl_examples(self.corpus, self.knowledge)
-        self.pipeline = EvaluationPipeline(self.config.pipeline)
+        self.pipeline = EvaluationPipeline(self.config.pipeline, service=service)
         self.tuner = FineTuner(self.knowledge, self.config.finetune)
 
     # -- dataset -----------------------------------------------------------------------
@@ -78,11 +80,11 @@ class FinetuneEvaluator:
         for k in self.config.k_values:
             result = ModelKshotResult(model_name=model.name, k=k)
             examples = self.examples.for_k(k)
-            for design in held_out:
-                evaluation = self.pipeline.evaluate_design(
-                    model, design, examples, k, use_corrector=False
+            result.designs.extend(
+                self.pipeline.evaluate_designs(
+                    model, held_out, examples, k, use_corrector=False
                 )
-                result.designs.append(evaluation)
+            )
             results.append(result)
         return results, model, report
 

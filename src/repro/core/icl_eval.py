@@ -17,6 +17,7 @@ from ..llm.cots import AssertionGenerator, SimulatedCotsLLM
 from ..llm.profiles import COTS_PROFILES, ModelProfile
 from .metrics import EvaluationMatrix, ModelKshotResult
 from .pipeline import EvaluationPipeline, PipelineConfig
+from .scheduler import VerificationService
 
 
 @dataclass
@@ -37,12 +38,13 @@ class IclEvaluator:
         knowledge: Optional[DesignKnowledgeBase] = None,
         examples: Optional[IclExampleSet] = None,
         config: Optional[IclEvaluationConfig] = None,
+        service: Optional[VerificationService] = None,
     ):
         self.corpus = corpus or AssertionBenchCorpus()
         self.knowledge = knowledge or DesignKnowledgeBase()
         self.config = config or IclEvaluationConfig()
         self.examples = examples or build_icl_examples(self.corpus, self.knowledge)
-        self.pipeline = EvaluationPipeline(self.config.pipeline)
+        self.pipeline = EvaluationPipeline(self.config.pipeline, service=service)
 
     # -- generators -----------------------------------------------------------------
 
@@ -66,11 +68,11 @@ class IclEvaluator:
         designs = list(designs) if designs is not None else self.test_designs()
         examples = self.examples.for_k(k)
         result = ModelKshotResult(model_name=generator.name, k=k)
-        for design in designs:
-            evaluation = self.pipeline.evaluate_design(
-                generator, design, examples, k, use_corrector=use_corrector
+        result.designs.extend(
+            self.pipeline.evaluate_designs(
+                generator, designs, examples, k, use_corrector=use_corrector
             )
-            result.designs.append(evaluation)
+        )
         return result
 
     def evaluate(

@@ -7,28 +7,44 @@ per-design loop:
 2. ask the generator for assertion text,
 3. optionally pass each line through the syntax corrector (the COTS flow
    uses it, the fine-tuned flow removes it — compare Figures 4 and 8),
-4. discharge each surviving assertion on the FPV engine,
+4. discharge the surviving assertions on the verification backend,
 5. record the Pass/CEX/Error bucket.
 
-FPV verdicts are cached per (design, normalised assertion text) so identical
-assertions emitted by different models or k-settings are only proved once.
+Verification goes through the :class:`~repro.core.scheduler.VerificationService`:
+each design's assertions are discharged as one batched FPV call, design-level
+batches can fan out across worker processes, and FPV verdicts are cached per
+(design, normalised assertion text) so identical assertions emitted by
+different models or k-settings are only proved once.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
-from ..fpv.engine import EngineConfig, FormalEngine
-from ..fpv.result import ProofResult, ProofStatus, error_result
+from ..fpv.engine import EngineConfig
+from ..fpv.result import ProofResult, error_result
 from ..hdl.design import Design
 from ..llm.cots import AssertionGenerator
 from ..llm.decoding import DecodingConfig
 from ..llm.prompt import InContextExample, PromptBuilder
 from ..sva.corrector import SyntaxCorrector
 from ..sva.errors import SvaError
+from ..sva.model import Assertion
 from ..sva.parser import parse_assertion, split_assertion_lines
 from .metrics import AssertionOutcome, DesignEvaluation, categorize
+from .scheduler import (
+    SchedulerConfig,
+    VerdictCache,
+    VerificationService,
+    default_workers,
+)
+
+__all__ = [
+    "EvaluationPipeline",
+    "PipelineConfig",
+    "VerdictCache",
+]
 
 
 @dataclass
@@ -49,57 +65,60 @@ class PipelineConfig:
             fallback_seeds=2,
         )
     )
+    #: FPV worker processes (1 = in-process; defaults to REPRO_FPV_WORKERS,
+    #: matching SchedulerConfig.workers and SuiteConfig.fpv_workers).
+    workers: int = field(default_factory=default_workers)
 
 
-class VerdictCache:
-    """Cache of FPV verdicts keyed by (design name, assertion text)."""
+@dataclass
+class _PreparedLine:
+    """One generated line after correction/parsing, awaiting its verdict."""
 
-    def __init__(self):
-        self._verdicts: Dict[tuple, ProofResult] = {}
-        self.hits = 0
-        self.misses = 0
-
-    def get(self, design_name: str, text: str) -> Optional[ProofResult]:
-        key = (design_name, " ".join(text.split()))
-        result = self._verdicts.get(key)
-        if result is not None:
-            self.hits += 1
-        return result
-
-    def put(self, design_name: str, text: str, result: ProofResult) -> None:
-        key = (design_name, " ".join(text.split()))
-        self.misses += 1
-        self._verdicts[key] = result
-
-    def __len__(self) -> int:
-        return len(self._verdicts)
+    raw: str
+    corrected: str
+    correction_applied: bool
+    assertion: Optional[Assertion]
 
 
 class EvaluationPipeline:
-    """Run one generator over one test design and classify its output."""
+    """Run one generator over test designs and classify its output."""
 
-    def __init__(self, config: Optional[PipelineConfig] = None):
+    def __init__(
+        self,
+        config: Optional[PipelineConfig] = None,
+        service: Optional[VerificationService] = None,
+    ):
         self._config = config or PipelineConfig()
         self._prompt_builder = PromptBuilder()
-        self._engines: Dict[str, FormalEngine] = {}
-        self._cache = VerdictCache()
+        self._owns_service = service is None
+        self._service = service or VerificationService(
+            SchedulerConfig(engine=self._config.engine, workers=self._config.workers)
+        )
+
+    def close(self) -> None:
+        """Shut down the verification service if this pipeline created it."""
+        if self._owns_service:
+            self._service.close()
+
+    def __enter__(self) -> "EvaluationPipeline":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     @property
     def config(self) -> PipelineConfig:
         return self._config
 
     @property
+    def service(self) -> VerificationService:
+        return self._service
+
+    @property
     def cache(self) -> VerdictCache:
-        return self._cache
+        return self._service.cache
 
-    # -- engine/corrector management ---------------------------------------------------
-
-    def _engine_for(self, design: Design) -> FormalEngine:
-        if design.name not in self._engines:
-            self._engines[design.name] = FormalEngine(design, self._config.engine)
-        return self._engines[design.name]
-
-    # -- main entry point -----------------------------------------------------------------
+    # -- main entry points -----------------------------------------------------------
 
     def evaluate_design(
         self,
@@ -110,84 +129,117 @@ class EvaluationPipeline:
         use_corrector: Optional[bool] = None,
     ) -> DesignEvaluation:
         """Generate assertions for ``design`` and bucket every one of them."""
+        return self.evaluate_designs(generator, [design], examples, k, use_corrector)[0]
+
+    def evaluate_designs(
+        self,
+        generator: AssertionGenerator,
+        designs: Sequence[Design],
+        examples: Sequence[InContextExample],
+        k: int,
+        use_corrector: Optional[bool] = None,
+    ) -> List[DesignEvaluation]:
+        """Evaluate one generator over many designs.
+
+        Generation and correction run per design; verification is handed to
+        the scheduler as one design-level batch per design, so with multiple
+        workers the FPV load fans out across processes.
+        """
+        prepared: List[Tuple[Design, List[_PreparedLine]]] = [
+            (design, self._prepare_lines(generator, design, examples, use_corrector))
+            for design in designs
+        ]
+        jobs = [
+            (design, [line.assertion for line in lines if line.assertion is not None])
+            for design, lines in prepared
+        ]
+        verdicts = self._service.check_many(jobs)
+
+        evaluations: List[DesignEvaluation] = []
+        for (design, lines), design_verdicts in zip(prepared, verdicts):
+            evaluation = DesignEvaluation(design_name=design.name)
+            queue = iter(design_verdicts)
+            for line in lines:
+                if line.assertion is None:
+                    proof = error_result(
+                        "assertion could not be parsed"
+                        + (" after correction" if self._corrector_enabled(use_corrector) else ""),
+                        design.name,
+                    )
+                else:
+                    proof = next(queue)
+                evaluation.outcomes.append(
+                    self._outcome(line, design, generator.name, k, proof)
+                )
+            evaluations.append(evaluation)
+        return evaluations
+
+    # -- generation / correction ----------------------------------------------------
+
+    def _corrector_enabled(self, use_corrector: Optional[bool]) -> bool:
+        return (
+            self._config.use_syntax_corrector if use_corrector is None else use_corrector
+        )
+
+    def _prepare_lines(
+        self,
+        generator: AssertionGenerator,
+        design: Design,
+        examples: Sequence[InContextExample],
+        use_corrector: Optional[bool],
+    ) -> List[_PreparedLine]:
         prompt = self._prompt_builder.build(list(examples), design)
         generation = generator.generate(prompt, self._config.decoding)
         lines = split_assertion_lines(generation.text)
 
-        corrector_enabled = (
-            self._config.use_syntax_corrector if use_corrector is None else use_corrector
-        )
         corrector = (
             SyntaxCorrector(design=design, resolve_signals=self._config.resolve_signal_names)
-            if corrector_enabled
+            if self._corrector_enabled(use_corrector)
             else None
         )
 
-        evaluation = DesignEvaluation(design_name=design.name)
+        prepared: List[_PreparedLine] = []
         for raw in lines:
-            outcome = self._classify_line(
-                raw, design, generator.name, k, corrector
-            )
-            evaluation.outcomes.append(outcome)
-        return evaluation
+            if corrector is not None:
+                correction = corrector.correct(raw)
+                prepared.append(
+                    _PreparedLine(
+                        raw=raw,
+                        corrected=correction.corrected,
+                        correction_applied=bool(correction.applied_rules),
+                        assertion=correction.assertion,
+                    )
+                )
+            else:
+                try:
+                    assertion = parse_assertion(raw)
+                except SvaError:
+                    assertion = None
+                prepared.append(
+                    _PreparedLine(
+                        raw=raw,
+                        corrected=raw,
+                        correction_applied=False,
+                        assertion=assertion,
+                    )
+                )
+        return prepared
 
-    # -- per-assertion classification ----------------------------------------------------------
-
-    def _classify_line(
+    def _outcome(
         self,
-        raw: str,
+        line: _PreparedLine,
         design: Design,
         model_name: str,
         k: int,
-        corrector: Optional[SyntaxCorrector],
+        proof: ProofResult,
     ) -> AssertionOutcome:
-        corrected_text = raw
-        correction_applied = False
-        assertion = None
-
-        if corrector is not None:
-            correction = corrector.correct(raw)
-            corrected_text = correction.corrected
-            correction_applied = bool(correction.applied_rules)
-            assertion = correction.assertion
-        else:
-            try:
-                assertion = parse_assertion(raw)
-            except SvaError:
-                assertion = None
-
-        if assertion is None:
-            proof = error_result(
-                "assertion could not be parsed" + (" after correction" if corrector else ""),
-                design.name,
-            )
-            return AssertionOutcome(
-                design_name=design.name,
-                model_name=model_name,
-                k=k,
-                raw_text=raw,
-                corrected_text=corrected_text,
-                category=categorize(proof),
-                proof=proof,
-                correction_applied=correction_applied,
-            )
-
-        proof = self._check_cached(design, assertion.to_sva(include_assert=False), assertion)
         return AssertionOutcome(
             design_name=design.name,
             model_name=model_name,
             k=k,
-            raw_text=raw,
-            corrected_text=corrected_text,
+            raw_text=line.raw,
+            corrected_text=line.corrected,
             category=categorize(proof),
             proof=proof,
-            correction_applied=correction_applied,
+            correction_applied=line.correction_applied,
         )
-
-    def _check_cached(self, design: Design, text: str, assertion) -> ProofResult:
-        cached = self._cache.get(design.name, text)
-        if cached is not None:
-            return cached
-        result = self._engine_for(design).check(assertion)
-        self._cache.put(design.name, text, result)
-        return result

@@ -1,0 +1,282 @@
+"""Parallel evaluation scheduler: the third layer of the verification backend.
+
+The :class:`VerificationService` is the single entry point through which the
+evaluation pipeline, the experiment suite, and the benchmark harness
+discharge generated assertions:
+
+1. queued assertions are grouped by design,
+2. each design's batch is checked with one call to
+   :meth:`~repro.fpv.engine.FormalEngine.check_batch` (one shared state-space
+   sweep / one shared trace set per design),
+3. design-level batches are dispatched across a ``ProcessPoolExecutor`` when
+   more than one worker is configured, with deterministic result ordering,
+4. a verdict cache keyed by (design name, normalised assertion text) fronts
+   the whole flow.
+
+The cache is process-safe by construction: worker processes never see it —
+lookups happen before dispatch and verdicts are stored after collection, all
+in the parent process, under a lock so concurrent submitting threads cannot
+corrupt the accounting.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import threading
+import zlib
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..fpv.engine import EngineConfig, FormalEngine
+from ..fpv.result import ProofResult
+from ..hdl.design import Design
+from ..sva.model import Assertion
+
+AssertionLike = Union[str, Assertion]
+#: One unit of schedulable work: a design plus the assertions queued for it.
+VerificationJob = Tuple[Design, Sequence[AssertionLike]]
+
+_WORKERS_ENV_VAR = "REPRO_FPV_WORKERS"
+
+
+def default_workers() -> int:
+    """Worker count from ``REPRO_FPV_WORKERS`` (default 1 = in-process)."""
+    try:
+        return max(1, int(os.environ.get(_WORKERS_ENV_VAR, "1")))
+    except ValueError:
+        return 1
+
+
+@dataclass
+class SchedulerConfig:
+    """Knobs of the verification scheduler."""
+
+    engine: EngineConfig = field(default_factory=EngineConfig)
+    #: Number of worker processes; 1 runs everything in-process.
+    workers: int = field(default_factory=default_workers)
+
+
+class VerdictCache:
+    """Cache of FPV verdicts keyed by (design name, assertion text).
+
+    Thread-safe: lookups, stores, and the hit/miss accounting are guarded by
+    one lock.  A lookup that misses counts as a miss immediately (whether or
+    not a verdict is later stored), so ``hits + misses`` equals the number of
+    ``get`` calls.
+    """
+
+    def __init__(self):
+        self._verdicts: Dict[tuple, ProofResult] = {}
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def _key(design_name: str, text: str) -> tuple:
+        return (design_name, " ".join(text.split()))
+
+    def get(self, design_name: str, text: str) -> Optional[ProofResult]:
+        with self._lock:
+            result = self._verdicts.get(self._key(design_name, text))
+            if result is not None:
+                self.hits += 1
+            else:
+                self.misses += 1
+        return result
+
+    def put(self, design_name: str, text: str, result: ProofResult) -> None:
+        with self._lock:
+            self._verdicts[self._key(design_name, text)] = result
+
+    def stats(self) -> Dict[str, int]:
+        """Snapshot of the cache accounting."""
+        with self._lock:
+            return {
+                "entries": len(self._verdicts),
+                "hits": self.hits,
+                "misses": self.misses,
+            }
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._verdicts)
+
+
+# -- worker-side entry point ---------------------------------------------------
+
+def _design_key(design: Design) -> str:
+    """Identify a design by name *and* source fingerprint.
+
+    Keying on the name alone would hand back verdicts (or worker-side
+    engines) from a different design that happens to share it.
+    """
+    return f"{design.name}:{zlib.crc32(design.source.encode()):08x}"
+
+
+#: Engines are cached per worker process so repeated batches against the same
+#: design reuse its reachability set and fallback traces.
+_WORKER_ENGINES: Dict[tuple, FormalEngine] = {}
+_WORKER_ENGINE_LIMIT = 64
+
+
+def _engine_for(design: Design, config: EngineConfig) -> FormalEngine:
+    key = (_design_key(design), dataclasses.astuple(config))
+    engine = _WORKER_ENGINES.get(key)
+    if engine is None:
+        if len(_WORKER_ENGINES) >= _WORKER_ENGINE_LIMIT:
+            _WORKER_ENGINES.clear()
+        engine = FormalEngine(design, config)
+        _WORKER_ENGINES[key] = engine
+    return engine
+
+
+def _check_design_batch(
+    design: Design, assertions: Sequence[AssertionLike], config: EngineConfig
+) -> List[ProofResult]:
+    """Check one design-level batch (runs in a worker process or inline)."""
+    return _engine_for(design, config).check_batch(assertions)
+
+
+# -- the service ----------------------------------------------------------------
+
+
+class VerificationService:
+    """Schedule assertion batches over designs, workers, and the cache."""
+
+    def __init__(
+        self,
+        config: Optional[SchedulerConfig] = None,
+        cache: Optional[VerdictCache] = None,
+    ):
+        self._config = config or SchedulerConfig()
+        self._cache = cache or VerdictCache()
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_lock = threading.Lock()
+
+    @property
+    def config(self) -> SchedulerConfig:
+        return self._config
+
+    @property
+    def cache(self) -> VerdictCache:
+        return self._cache
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent)."""
+        with self._pool_lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+                self._pool = None
+
+    def __enter__(self) -> "VerificationService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _get_pool(self) -> ProcessPoolExecutor:
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ProcessPoolExecutor(max_workers=self._effective_workers())
+            return self._pool
+
+    # -- public API ----------------------------------------------------------------
+
+    def check(self, design: Design, assertion: AssertionLike) -> ProofResult:
+        """Check a single assertion against one design (cache-fronted)."""
+        return self.check_design(design, [assertion])[0]
+
+    def check_design(
+        self, design: Design, assertions: Sequence[AssertionLike]
+    ) -> List[ProofResult]:
+        """Check one design's batch; results are in input order."""
+        return self.check_many([(design, assertions)])[0]
+
+    def check_many(self, jobs: Sequence[VerificationJob]) -> List[List[ProofResult]]:
+        """Check many design-level batches, fanning out across workers.
+
+        Returns one verdict list per job, aligned with the input: result
+        ordering is deterministic regardless of worker count or completion
+        order.  Cached verdicts are reused; each distinct (design, normalised
+        text) pair is proved at most once, even when repeated within a batch.
+        """
+        jobs = [(design, list(assertions)) for design, assertions in jobs]
+
+        # Resolve from the cache and collect the per-design misses.  Designs
+        # are grouped by name + source fingerprint so two different designs
+        # sharing a name never land in one batch.  The slot table maps every
+        # (job, position) to the key that will eventually hold its verdict.
+        pending: Dict[str, Dict[tuple, ProofResult]] = {}
+        misses: Dict[str, Tuple[Design, List[AssertionLike], List[tuple]]] = {}
+        slots: List[List[tuple]] = []
+        design_keys: List[str] = []
+        for design, assertions in jobs:
+            design_key = _design_key(design)
+            design_keys.append(design_key)
+            job_slots: List[tuple] = []
+            design_pending = pending.setdefault(design_key, {})
+            for assertion in assertions:
+                key = VerdictCache._key(design_key, _assertion_text(assertion))
+                job_slots.append(key)
+                if key in design_pending:
+                    continue
+                cached = self._cache.get(*key)
+                if cached is not None:
+                    design_pending[key] = cached
+                    continue
+                design_pending[key] = None  # type: ignore[assignment]
+                design_jobs = misses.setdefault(design_key, (design, [], []))
+                design_jobs[1].append(assertion)
+                design_jobs[2].append(key)
+            slots.append(job_slots)
+
+        self._dispatch(list(misses.values()), pending)
+
+        return [
+            [pending[design_key][key] for key in job_slots]
+            for design_key, job_slots in zip(design_keys, slots)
+        ]
+
+    # -- dispatch -------------------------------------------------------------------
+
+    def _effective_workers(self) -> int:
+        # More workers than cores just adds fork/pickle overhead; clamp so a
+        # 4-worker config degrades gracefully on small machines.
+        return min(self._config.workers, os.cpu_count() or 1)
+
+    def _dispatch(
+        self,
+        batches: List[Tuple[Design, List[AssertionLike], List[tuple]]],
+        pending: Dict[str, Dict[tuple, ProofResult]],
+    ) -> None:
+        if not batches:
+            return
+        engine_config = self._config.engine
+        if self._effective_workers() <= 1 or len(batches) == 1:
+            outcomes = [
+                _check_design_batch(design, assertions, engine_config)
+                for design, assertions, _ in batches
+            ]
+        else:
+            pool = self._get_pool()
+            futures = [
+                pool.submit(_check_design_batch, design, assertions, engine_config)
+                for design, assertions, _ in batches
+            ]
+            # Collect in submission order: deterministic result assembly.
+            outcomes = [future.result() for future in futures]
+        for (design, _, keys), results in zip(batches, outcomes):
+            design_pending = pending[_design_key(design)]
+            for key, result in zip(keys, results):
+                design_pending[key] = result
+                self._cache.put(*key, result)
+
+
+def _assertion_text(assertion: AssertionLike) -> str:
+    if isinstance(assertion, Assertion):
+        return assertion.to_sva(include_assert=False)
+    return assertion

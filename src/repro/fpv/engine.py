@@ -17,17 +17,26 @@ Two proof strategies are used:
   traces.  A violation still yields a genuine CEX; the absence of violations
   yields a *bounded* PROVEN/VACUOUS verdict (``ProofResult.complete`` False),
   mirroring how bounded proofs are reported by commercial tools.
+
+The engine is *batched*: :meth:`FormalEngine.check_batch` is the core
+primitive.  It sweeps the reachable state × input space **once** per design
+and advances every pending assertion's antecedent/consequent obligations
+together, so one :meth:`~repro.fpv.transition.TransitionSystem.step` per
+(state, inputs) pair is shared across the whole batch.  Per-assertion
+evaluation budgets and verdict semantics are identical to checking each
+assertion alone; :meth:`check` and :meth:`check_all` are thin wrappers over a
+batch of one / the full batch.
 """
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..hdl.design import Design
 from ..hdl.errors import HdlError
-from ..sim.eval import EvalError, ExprEvaluator
+from ..sim.compile import default_backend, make_evaluator
+from ..sim.eval import EvalError
 from ..sim.simulator import Simulator
 from ..sim.stimulus import RandomStimulus, ResetSequenceStimulus
 from ..sva.checker import bind
@@ -54,30 +63,98 @@ class EngineConfig:
     fallback_cycles: int = 1500
     fallback_seeds: int = 3
     reset_cycles: int = 2
+    #: Evaluation backend: "compiled", "interpreted", or None for the
+    #: process-wide default (see :func:`repro.sim.compile.default_backend`).
+    backend: Optional[str] = None
 
 
-class _Budget:
-    """Mutable evaluation budget shared by one exhaustive check."""
+class _Pending:
+    """A consequent failure observed on the current path, awaiting completion.
 
-    def __init__(self, limit: int):
-        self.limit = limit
-        self.used = 0
+    The failure only becomes a counterexample if the remaining antecedent
+    terms can still match on some continuation of the path (otherwise the
+    evaluation attempt never triggers and the failure is moot).
+    """
 
-    def spend(self, amount: int = 1) -> bool:
-        self.used += amount
-        return self.used <= self.limit
+    __slots__ = ("term", "cycles", "completed")
+
+    def __init__(self, term: str, cycles: List[Dict[str, int]]):
+        self.term = term
+        self.cycles = cycles
+        self.completed = False
+
+
+class _Obligation:
+    """Per-assertion state carried through one batched exhaustive sweep.
+
+    The antecedent/consequent/disable propositions are pre-lowered to truth
+    kernels at batch start, so the sweep's inner loop is free of evaluator
+    dispatch: ``antecedent[offset]`` is a tuple of callables, ``consequent``
+    pairs each callable with the term's source text for CEX reporting.
+    """
+
+    __slots__ = (
+        "index",
+        "assertion",
+        "antecedent",
+        "consequent",
+        "disable",
+        "depth",
+        "budget_used",
+        "budget_exhausted",
+        "triggered",
+        "decided",
+        "witness",
+        "error",
+    )
+
+    def __init__(self, index: int, assertion: Assertion, term_fn):
+        self.index = index
+        self.assertion = assertion
+        self.antecedent = {
+            offset: tuple(term_fn(term.expr) for term in terms)
+            for offset, terms in _terms_by_offset(assertion.antecedent).items()
+        }
+        self.consequent = {
+            offset: tuple((term_fn(term.expr), str(term.expr)) for term in terms)
+            for offset, terms in _terms_by_offset(
+                assertion.consequent_terms_absolute()
+            ).items()
+        }
+        self.disable = (
+            term_fn(assertion.disable_iff) if assertion.disable_iff is not None else None
+        )
+        self.depth = assertion.temporal_depth
+        self.budget_used = 0
+        self.budget_exhausted = False
+        self.triggered = False
+        self.decided = False
+        self.witness: Optional[Tuple[List[Dict[str, int]], str]] = None
+        self.error: Optional[str] = None
+
+    def fail(self, message: str) -> None:
+        self.error = message
+        self.decided = True
+
+    def refute(self, witness: Tuple[List[Dict[str, int]], str]) -> None:
+        self.witness = witness
+        self.decided = True
 
 
 class FormalEngine:
-    """Check assertions against one design."""
+    """Check batches of assertions against one design."""
 
     def __init__(self, design: Design, config: Optional[EngineConfig] = None):
         self._design = design
         self._config = config or EngineConfig()
+        self._backend = self._config.backend or default_backend()
         self._system = TransitionSystem(
-            design, max_input_bits=self._config.max_input_bits
+            design,
+            max_input_bits=self._config.max_input_bits,
+            backend=self._backend,
         )
-        self._evaluator = ExprEvaluator(design.model)
+        self._evaluator = make_evaluator(design.model, self._backend)
+        self._checker = TraceChecker(design.model, backend=self._backend)
         self._reachability: Optional[ReachabilityResult] = None
         self._fallback_traces: Optional[List] = None
 
@@ -89,34 +166,77 @@ class FormalEngine:
     def config(self) -> EngineConfig:
         return self._config
 
+    @property
+    def backend(self) -> str:
+        return self._backend
+
     # -- public API ----------------------------------------------------------------
 
     def check(self, assertion_or_text: Union[str, Assertion]) -> ProofResult:
         """Check one assertion (text or parsed) and return its verdict."""
-        assertion, parse_error = self._to_assertion(assertion_or_text)
-        if parse_error is not None:
-            return error_result(parse_error, self._design.name)
-
-        report = bind(assertion, self._design)
-        if not report.ok:
-            return error_result(
-                "; ".join(report.messages), self._design.name, assertion
-            )
-
-        try:
-            if self._can_check_exhaustively(assertion):
-                return self._check_exhaustive(assertion)
-            return self._check_by_simulation(assertion)
-        except EvalError as exc:
-            return error_result(f"evaluation error: {exc}", self._design.name, assertion)
-        except HdlError as exc:
-            return error_result(f"elaboration error: {exc}", self._design.name, assertion)
+        return self.check_batch([assertion_or_text])[0]
 
     def check_all(
         self, assertions: Iterable[Union[str, Assertion]]
     ) -> List[ProofResult]:
-        """Check a batch of assertions."""
-        return [self.check(item) for item in assertions]
+        """Check a batch of assertions (alias of :meth:`check_batch`)."""
+        return self.check_batch(assertions)
+
+    def check_batch(
+        self, assertions: Iterable[Union[str, Assertion]]
+    ) -> List[ProofResult]:
+        """Check a batch of assertions with one shared state-space sweep.
+
+        Returns one :class:`ProofResult` per input, in input order.  Verdicts
+        (status, completeness, counterexample trigger cycle) are identical to
+        checking each assertion on its own.
+        """
+        items = list(assertions)
+        results: List[Optional[ProofResult]] = [None] * len(items)
+        exhaustive: List[_Obligation] = []
+        by_simulation: List[Tuple[int, Assertion]] = []
+
+        for index, item in enumerate(items):
+            assertion, parse_error = self._to_assertion(item)
+            if parse_error is not None:
+                results[index] = error_result(parse_error, self._design.name)
+                continue
+            report = bind(assertion, self._design)
+            if not report.ok:
+                results[index] = error_result(
+                    "; ".join(report.messages), self._design.name, assertion
+                )
+                continue
+            try:
+                if self._can_check_exhaustively(assertion):
+                    exhaustive.append(_Obligation(index, assertion, self._term_fn))
+                else:
+                    by_simulation.append((index, assertion))
+            except EvalError as exc:
+                results[index] = error_result(
+                    f"evaluation error: {exc}", self._design.name, assertion
+                )
+            except HdlError as exc:
+                results[index] = error_result(
+                    f"elaboration error: {exc}", self._design.name, assertion
+                )
+
+        if exhaustive:
+            by_simulation.extend(self._run_exhaustive_batch(exhaustive, results))
+
+        for index, assertion in by_simulation:
+            try:
+                results[index] = self._check_by_simulation(assertion)
+            except EvalError as exc:
+                results[index] = error_result(
+                    f"evaluation error: {exc}", self._design.name, assertion
+                )
+            except HdlError as exc:
+                results[index] = error_result(
+                    f"elaboration error: {exc}", self._design.name, assertion
+                )
+
+        return results  # type: ignore[return-value]
 
     # -- parsing --------------------------------------------------------------------
 
@@ -155,45 +275,146 @@ class FormalEngine:
             )
         return self._reachability
 
-    # -- exhaustive explicit-state checking ----------------------------------------------
+    # -- batched exhaustive explicit-state checking ------------------------------------
 
-    def _check_exhaustive(self, assertion: Assertion) -> ProofResult:
+    def _run_exhaustive_batch(
+        self,
+        obligations: List[_Obligation],
+        results: List[Optional[ProofResult]],
+    ) -> List[Tuple[int, Assertion]]:
+        """Sweep the reachable space once, advancing every obligation together.
+
+        Fills ``results`` for every obligation the sweep decides; returns the
+        (index, assertion) pairs whose budget was exhausted and that must fall
+        back to bounded simulation checking.
+        """
         reachability = self._reachable()
-        depth = assertion.temporal_depth
-        antecedent = _terms_by_offset(assertion.antecedent)
-        consequent = _terms_by_offset(assertion.consequent_terms_absolute())
-        budget = _Budget(self._config.max_path_evaluations)
-
-        triggered = False
         for state in reachability.states:
-            outcome = self._explore(
-                assertion, state, 0, depth, antecedent, consequent, [], budget
-            )
-            if outcome is None:
-                # Budget exhausted: drop to bounded simulation checking.
-                return self._check_by_simulation(assertion)
-            path_triggered, witness = outcome
-            triggered = triggered or path_triggered
-            if witness is not None:
-                cycles, failed_term = witness
-                return ProofResult(
-                    status=ProofStatus.CEX,
-                    assertion=assertion,
-                    design_name=self._design.name,
-                    counterexample=Counterexample(
-                        cycles=cycles, trigger_cycle=0, failed_term=failed_term
-                    ),
-                    reason="counterexample found by explicit-state search",
-                    engine="explicit-state",
-                    complete=True,
-                    states_explored=reachability.count,
-                    depth=depth,
-                )
+            carriers = [
+                (obligation, None)
+                for obligation in obligations
+                if not obligation.decided and not obligation.budget_exhausted
+            ]
+            if not carriers:
+                break
+            self._sweep(state, 0, [], carriers)
 
-        status = ProofStatus.PROVEN if triggered else ProofStatus.VACUOUS
+        fallback: List[Tuple[int, Assertion]] = []
+        for obligation in obligations:
+            if obligation.budget_exhausted:
+                fallback.append((obligation.index, obligation.assertion))
+                continue
+            results[obligation.index] = self._exhaustive_result(
+                obligation, reachability
+            )
+        return fallback
+
+    def _sweep(
+        self,
+        state: State,
+        offset: int,
+        path: List[Dict[str, int]],
+        carriers: List[Tuple[_Obligation, Optional[_Pending]]],
+    ) -> None:
+        """One node of the shared depth-first search over input choices.
+
+        ``carriers`` holds every obligation still exploring this path, paired
+        with its pending consequent failure (if any).  Budgets are charged per
+        (obligation, input) exactly as a standalone check would, so budget
+        exhaustion is assertion-local and order-identical to ``check()``.
+        """
+        limit = self._config.max_path_evaluations
+        for inputs in self._system.enumerate_inputs():
+            alive: List[Tuple[_Obligation, Optional[_Pending]]] = []
+            for obligation, pending in carriers:
+                if obligation.decided or obligation.budget_exhausted:
+                    continue
+                obligation.budget_used += 1
+                if obligation.budget_used > limit:
+                    obligation.budget_exhausted = True
+                    continue
+                alive.append((obligation, pending))
+            if not alive:
+                return
+            try:
+                step = self._system.step(state, inputs)
+            except (EvalError, HdlError) as exc:
+                for obligation, _ in alive:
+                    obligation.fail(f"evaluation error: {exc}")
+                return
+            env = step.env
+            next_carriers: List[Tuple[_Obligation, Optional[_Pending]]] = []
+            born: List[Tuple[_Obligation, _Pending]] = []
+            for obligation, pending in alive:
+                try:
+                    if offset == 0 and obligation.disable is not None and obligation.disable(env):
+                        continue
+                    antecedent = obligation.antecedent.get(offset)
+                    if antecedent is not None:
+                        matched = True
+                        for term in antecedent:
+                            if not term(env):
+                                matched = False
+                                break
+                        if not matched:
+                            continue
+                    if pending is None:
+                        consequent = obligation.consequent.get(offset)
+                        if consequent is not None:
+                            for term, text in consequent:
+                                if not term(env):
+                                    pending = _Pending(text, path + [env])
+                                    born.append((obligation, pending))
+                                    break
+                except EvalError as exc:
+                    obligation.fail(f"evaluation error: {exc}")
+                    continue
+                if offset == obligation.depth:
+                    obligation.triggered = True
+                    if pending is not None:
+                        pending.completed = True
+                else:
+                    next_carriers.append((obligation, pending))
+            if next_carriers:
+                self._sweep(step.next_state, offset + 1, path + [env], next_carriers)
+            # A failure born at this node becomes a counterexample once some
+            # continuation completed the antecedent match (the subtree has now
+            # been fully explored, mirroring the standalone search's budget).
+            for obligation, pending in born:
+                if (
+                    pending.completed
+                    and not obligation.decided
+                    and not obligation.budget_exhausted
+                ):
+                    obligation.refute((pending.cycles, pending.term))
+
+    def _exhaustive_result(
+        self, obligation: _Obligation, reachability: ReachabilityResult
+    ) -> ProofResult:
+        assertion = obligation.assertion
+        if obligation.error is not None:
+            return error_result(obligation.error, self._design.name, assertion)
+        if obligation.witness is not None:
+            cycles, failed_term = obligation.witness
+            return ProofResult(
+                status=ProofStatus.CEX,
+                assertion=assertion,
+                design_name=self._design.name,
+                counterexample=Counterexample(
+                    cycles=[dict(cycle) for cycle in cycles],
+                    trigger_cycle=0,
+                    failed_term=failed_term,
+                ),
+                reason="counterexample found by explicit-state search",
+                engine="explicit-state",
+                complete=True,
+                states_explored=reachability.count,
+                depth=obligation.depth,
+            )
+        status = ProofStatus.PROVEN if obligation.triggered else ProofStatus.VACUOUS
         reason = (
             "holds on all reachable states"
-            if triggered
+            if obligation.triggered
             else "antecedent unreachable on all reachable states"
         )
         return ProofResult(
@@ -204,94 +425,16 @@ class FormalEngine:
             engine="explicit-state",
             complete=True,
             states_explored=reachability.count,
-            depth=depth,
+            depth=obligation.depth,
         )
 
-    def _explore(
-        self,
-        assertion: Assertion,
-        state: State,
-        offset: int,
-        depth: int,
-        antecedent: Dict[int, List[SequenceTerm]],
-        consequent: Dict[int, List[SequenceTerm]],
-        path: List[Dict[str, int]],
-        budget: _Budget,
-    ) -> Optional[Tuple[bool, Optional[Tuple[List[Dict[str, int]], str]]]]:
-        """Depth-first search over input choices for one evaluation attempt.
-
-        Returns ``(antecedent_can_match, witness)`` where ``witness`` is a
-        (cycles, failed term) pair if a violating path exists, or ``None`` for
-        the whole tuple when the evaluation budget is exhausted.
-        """
-        triggered_any = False
-        for inputs in self._system.enumerate_inputs():
-            if not budget.spend():
-                return None
-            step = self._system.step(state, inputs)
-            env = step.env
-            if offset == 0 and assertion.disable_iff is not None:
-                if self._truth(assertion.disable_iff, env):
-                    continue
-            if not self._terms_hold(antecedent.get(offset, ()), env):
-                continue
-            failed_term = self._first_failed(consequent.get(offset, ()), env)
-            new_path = path + [env]
-            if offset == depth:
-                triggered_any = True
-                if failed_term is not None:
-                    return True, (new_path, failed_term)
-                continue
-            if failed_term is not None:
-                # A consequent term already failed; the attempt is violated as
-                # soon as the remaining antecedent terms can still match.
-                outcome = self._explore(
-                    assertion,
-                    step.next_state,
-                    offset + 1,
-                    depth,
-                    antecedent,
-                    {},
-                    new_path,
-                    budget,
-                )
-                if outcome is None:
-                    return None
-                deeper_triggered, _ = outcome
-                if deeper_triggered:
-                    return True, (new_path, failed_term)
-                continue
-            outcome = self._explore(
-                assertion,
-                step.next_state,
-                offset + 1,
-                depth,
-                antecedent,
-                consequent,
-                new_path,
-                budget,
-            )
-            if outcome is None:
-                return None
-            deeper_triggered, witness = outcome
-            triggered_any = triggered_any or deeper_triggered
-            if witness is not None:
-                return True, witness
-        return triggered_any, None
-
-    def _terms_hold(self, terms: Sequence[SequenceTerm], env: Dict[str, int]) -> bool:
-        return all(self._truth(term.expr, env) for term in terms)
-
-    def _first_failed(
-        self, terms: Sequence[SequenceTerm], env: Dict[str, int]
-    ) -> Optional[str]:
-        for term in terms:
-            if not self._truth(term.expr, env):
-                return str(term.expr)
-        return None
-
-    def _truth(self, expr, env: Dict[str, int]) -> bool:
-        return bool(self._evaluator.eval(expr, env))
+    def _term_fn(self, expr):
+        """Lower a proposition to a truth kernel for the sweep's inner loop."""
+        evaluator = self._evaluator
+        compile_expr = getattr(evaluator, "compile", None)
+        if compile_expr is not None:
+            return compile_expr(expr)
+        return lambda env, _expr=expr: evaluator.eval(_expr, env)
 
     # -- simulation falsification -------------------------------------------------------
 
@@ -305,7 +448,7 @@ class FormalEngine:
         if self._fallback_traces is None:
             traces = []
             for seed in range(self._config.fallback_seeds):
-                simulator = Simulator(self._design)
+                simulator = Simulator(self._design, backend=self._backend)
                 stimulus = ResetSequenceStimulus(
                     RandomStimulus(seed=seed), reset_cycles=self._config.reset_cycles
                 )
@@ -316,7 +459,7 @@ class FormalEngine:
         return self._fallback_traces
 
     def _check_by_simulation(self, assertion: Assertion) -> ProofResult:
-        checker = TraceChecker(self._design.model)
+        checker = self._checker
         triggers = 0
         depth = assertion.temporal_depth
         for seed, trace in enumerate(self._fallback_trace_set()):

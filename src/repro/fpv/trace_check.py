@@ -11,7 +11,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ..hdl.elaborate import RtlModel
-from ..sim.eval import EvalError, ExprEvaluator
+from ..sim.compile import make_evaluator
 from ..sim.trace import Trace
 from ..sva.model import Assertion
 
@@ -44,9 +44,9 @@ class TraceCheckResult:
 class TraceChecker:
     """Check assertions against recorded traces of one design."""
 
-    def __init__(self, model: RtlModel):
+    def __init__(self, model: RtlModel, backend: Optional[str] = None):
         self._model = model
-        self._evaluator = ExprEvaluator(model)
+        self._evaluator = make_evaluator(model, backend)
 
     def check(self, assertion: Assertion, trace: Trace) -> TraceCheckResult:
         """Evaluate ``assertion`` at every possible start cycle of ``trace``."""

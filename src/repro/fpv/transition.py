@@ -15,7 +15,7 @@ from typing import Dict, Iterator, List, Optional, Tuple
 
 from ..hdl.design import Design
 from ..hdl.elaborate import RtlModel
-from ..sim.eval import ExprEvaluator, StatementExecutor
+from ..sim.compile import CombSettle, make_evaluator, make_executor
 
 State = Tuple[int, ...]
 InputVector = Tuple[int, ...]
@@ -32,13 +32,14 @@ class TransitionStep:
 class TransitionSystem:
     """State-space view of one design."""
 
-    def __init__(self, design_or_model, max_input_bits: int = 14):
+    def __init__(self, design_or_model, max_input_bits: int = 14, backend: Optional[str] = None):
         if isinstance(design_or_model, Design):
             self._model: RtlModel = design_or_model.model
         else:
             self._model = design_or_model
-        self._evaluator = ExprEvaluator(self._model)
-        self._executor = StatementExecutor(self._model, self._evaluator)
+        self._evaluator = make_evaluator(self._model, backend)
+        self._executor = make_executor(self._model, self._evaluator)
+        self._settler = CombSettle(self._model, self._evaluator, self._executor)
         self._state_names: List[str] = list(self._model.state_regs)
         self._input_names: List[str] = list(self._model.non_clock_inputs)
         self._max_input_bits = max_input_bits
@@ -148,7 +149,9 @@ class TransitionSystem:
         env = self.settle(state, inputs)
         next_values: Dict[str, int] = {}
         for process in self._model.seq_processes:
-            self._executor.run_sequential(process.body, env, next_values)
+            self._executor.run_sequential(
+                process.body, env, next_values, targets=process.targets
+            )
         next_state_values = dict(zip(self._state_names, state))
         for name in self._state_names:
             if name in next_values:
@@ -156,17 +159,9 @@ class TransitionSystem:
         return TransitionStep(env=env, next_state=self.encode_state(next_state_values))
 
     def _settle_comb(self, env: Dict[str, int], max_iterations: int = 64) -> None:
-        for _ in range(max_iterations):
-            before = dict(env)
-            for assign in self._model.assigns:
-                value = self._evaluator.eval(assign.value, env)
-                self._executor.store(assign.target, value, env, env)
-            for process in self._model.comb_processes:
-                self._executor.run_combinational(process.body, env)
-            if env == before:
-                return
         # Combinational loops are rejected at simulation time; the engine treats
         # a non-settling design conservatively by keeping the last environment.
+        self._settler.run(env, max_iterations)
 
 
 @dataclass

@@ -1,5 +1,14 @@
 """Cycle-accurate simulation: evaluation, stimulus, traces, VCD export."""
 
+from .compile import (
+    COMPILED,
+    INTERPRETED,
+    CompiledEvaluator,
+    CompiledExecutor,
+    default_backend,
+    make_evaluator,
+    make_executor,
+)
 from .eval import EvalError, ExprEvaluator, StatementExecutor
 from .simulator import CombinationalLoopError, Simulator, simulate
 from .stimulus import (
@@ -15,11 +24,18 @@ from .trace import Trace
 from .vcd import dump_vcd, write_vcd
 
 __all__ = [
+    "COMPILED",
     "CombinationalLoopError",
+    "CompiledEvaluator",
+    "CompiledExecutor",
     "DirectedStimulus",
     "EvalError",
     "ExhaustiveStimulus",
     "ExprEvaluator",
+    "INTERPRETED",
+    "default_backend",
+    "make_evaluator",
+    "make_executor",
     "RandomStimulus",
     "ResetSequenceStimulus",
     "Simulator",

@@ -33,6 +33,8 @@ class ExprEvaluator:
     (this is how semantically malformed generated assertions are detected).
     """
 
+    backend = "interpreted"
+
     def __init__(self, model: RtlModel):
         self._model = model
         self._const = _ConstEvaluator(model.parameters)
@@ -167,7 +169,9 @@ class ExprEvaluator:
         if op == "/":
             return _mask(left // right, width) if right else (1 << width) - 1
         if op == "%":
-            return _mask(left % right, width) if right else left
+            # Modulo by zero yields all-don't-care; like division we pin it to a
+            # deterministic masked value so both backends agree bit-for-bit.
+            return _mask(left % right, width) if right else _mask(left, width)
         if op == "**":
             return _mask(left**right, width)
         if op == "&":
@@ -191,12 +195,16 @@ class ExprEvaluator:
         if op in ("<<", "<<<"):
             return _mask(left << min(right, 1 << 16), self.width_of(expr.left))
         if op in (">>", ">>>"):
-            return left >> min(right, 1 << 16)
+            # The left operand may carry arithmetic headroom bits (see "+"
+            # above); mask the shifted result to the declared operand width.
+            return _mask(left >> min(right, 1 << 16), self.width_of(expr.left))
         raise EvalError(f"unsupported binary operator {op!r}")
 
 
 class StatementExecutor:
     """Execute procedural statement bodies against a signal environment."""
+
+    backend = "interpreted"
 
     def __init__(self, model: RtlModel, evaluator: Optional[ExprEvaluator] = None):
         self._model = model
@@ -207,20 +215,29 @@ class StatementExecutor:
         self._exec(body, env, env, blocking_into_env=True)
 
     def run_sequential(
-        self, body: ast.Stmt, env: Dict[str, int], next_values: Dict[str, int]
+        self,
+        body: ast.Stmt,
+        env: Dict[str, int],
+        next_values: Dict[str, int],
+        targets=None,
     ) -> None:
         """Execute a clocked body.
 
         Non-blocking assignments are staged into ``next_values``; blocking
         assignments update a local shadow of ``env`` so later statements in the
         same process observe them (standard Verilog scheduling semantics for
-        the supported subset).
+        the supported subset).  ``targets`` optionally names the process's
+        assignment targets — the only signals the shadow scan can differ on.
         """
         shadow = dict(env)
         self._exec(body, shadow, next_values, blocking_into_env=True)
         # Blocking assignments inside a clocked block still update the register:
         # persist any shadow change that was not superseded by a non-blocking one.
-        for name, value in shadow.items():
+        names = targets if targets is not None else shadow
+        for name in names:
+            if name not in shadow:
+                continue
+            value = shadow[name]
             if env.get(name) != value and name not in next_values:
                 next_values[name] = value
 

@@ -14,7 +14,7 @@ from typing import Dict, Iterable, Optional
 from ..hdl.design import Design
 from ..hdl.elaborate import RtlModel
 from ..hdl.errors import ElaborationError
-from .eval import ExprEvaluator, StatementExecutor
+from .compile import CombSettle, make_evaluator, make_executor
 from .stimulus import Stimulus, default_stimulus
 from .trace import Trace
 
@@ -28,17 +28,23 @@ class CombinationalLoopError(ElaborationError):
 class Simulator:
     """Simulate one elaborated design."""
 
-    def __init__(self, design_or_model):
+    def __init__(self, design_or_model, backend: Optional[str] = None):
         if isinstance(design_or_model, Design):
             self._model: RtlModel = design_or_model.model
             self._design_name = design_or_model.name
         else:
             self._model = design_or_model
             self._design_name = self._model.name
-        self._evaluator = ExprEvaluator(self._model)
-        self._executor = StatementExecutor(self._model, self._evaluator)
+        self._evaluator = make_evaluator(self._model, backend)
+        self._executor = make_executor(self._model, self._evaluator)
+        self._settler = CombSettle(self._model, self._evaluator, self._executor)
         self._env: Dict[str, int] = {}
         self.reset_state()
+
+    @property
+    def backend(self) -> str:
+        """Which evaluation backend this simulator runs on."""
+        return self._evaluator.backend
 
     @property
     def model(self) -> RtlModel:
@@ -82,18 +88,10 @@ class Simulator:
 
     def settle(self) -> None:
         """Propagate combinational logic until no signal changes."""
-        for _ in range(_MAX_SETTLE_ITERATIONS):
-            before = dict(self._env)
-            for assign in self._model.assigns:
-                value = self._evaluator.eval(assign.value, self._env)
-                self._executor.store(assign.target, value, self._env, self._env)
-            for process in self._model.comb_processes:
-                self._executor.run_combinational(process.body, self._env)
-            if self._env == before:
-                return
-        raise CombinationalLoopError(
-            f"combinational logic of {self._design_name!r} did not settle"
-        )
+        if not self._settler.run(self._env, _MAX_SETTLE_ITERATIONS):
+            raise CombinationalLoopError(
+                f"combinational logic of {self._design_name!r} did not settle"
+            )
 
     # -- clocking ---------------------------------------------------------------
 
@@ -101,7 +99,9 @@ class Simulator:
         """Advance all sequential processes by one active clock edge."""
         next_values: Dict[str, int] = {}
         for process in self._model.seq_processes:
-            self._executor.run_sequential(process.body, self._env, next_values)
+            self._executor.run_sequential(
+                process.body, self._env, next_values, targets=process.targets
+            )
         self._env.update(next_values)
         self.settle()
 
@@ -115,7 +115,7 @@ class Simulator:
         if inputs:
             self.apply_inputs(inputs)
         self.settle()
-        snapshot_inputs = {name: self._env[name] for name in self._model.signals}
+        snapshot_inputs = dict(self._env)
         if self._model.seq_processes:
             self.clock_edge()
         # The recorded cycle pairs the driven inputs with the settled values

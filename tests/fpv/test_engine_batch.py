@@ -1,0 +1,155 @@
+"""Batched FPV: ``check_batch`` must match per-assertion ``check`` exactly.
+
+The batched engine shares one state-space sweep (or one trace set) per
+design across all pending assertions; these tests pin down that the sharing
+is semantically invisible — status, completeness, counterexample trigger
+cycle, and witness cycles are identical to checking each assertion alone —
+across the full ``bench/designs`` corpus.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import pytest
+
+from repro.fpv import EngineConfig, FormalEngine, ProofStatus
+from repro.hdl.design import Design
+from repro.sim import COMPILED, INTERPRETED
+
+#: Small caps keep the corpus-wide sweep fast while still exercising both
+#: proof strategies (explicit-state and simulation falsification).
+_FAST = EngineConfig(
+    max_states=1024,
+    max_transitions=60_000,
+    max_input_bits=8,
+    max_state_bits=12,
+    max_path_evaluations=60_000,
+    fallback_cycles=96,
+    fallback_seeds=1,
+)
+
+
+def _template_assertions(design: Design) -> List[str]:
+    """A small assertion mix per design: invariants, implications, likely CEXs."""
+    model = design.model
+    outputs = model.outputs or list(model.signals)
+    out = outputs[0]
+    mask = model.signals[out].mask
+    assertions = [f"({out} <= {mask});", f"({out} == {mask});"]
+    if model.non_clock_inputs:
+        inp = model.non_clock_inputs[0]
+        assertions += [
+            f"({inp} == 0) |=> ({out} >= 0);",
+            f"({inp} == 0) |-> ({out} == {mask});",
+            f"({inp} == 0) ##1 ({inp} == 0) |=> ({out} <= {mask});",
+        ]
+    return assertions
+
+
+def _assert_equivalent(batch, solo, context: str) -> None:
+    assert len(batch) == len(solo)
+    for got, expected in zip(batch, solo):
+        assert got.status is expected.status, context
+        assert got.complete == expected.complete, context
+        assert got.engine == expected.engine, context
+        assert got.depth == expected.depth, context
+        if expected.counterexample is None:
+            assert got.counterexample is None, context
+        else:
+            assert got.counterexample is not None, context
+            assert (
+                got.counterexample.trigger_cycle
+                == expected.counterexample.trigger_cycle
+            ), context
+            assert got.counterexample.failed_term == expected.counterexample.failed_term, context
+            assert got.counterexample.cycles == expected.counterexample.cycles, context
+
+
+class TestBatchEquivalence:
+    def test_full_corpus_batch_matches_solo(self, corpus):
+        """Acceptance: identical verdicts across the full bench/designs corpus."""
+        mismatched = []
+        for design in corpus.all_designs():
+            assertions = _template_assertions(design)
+            batch = FormalEngine(design, _FAST).check_batch(assertions)
+            solo_engine = FormalEngine(design, _FAST)
+            solo = [solo_engine.check(assertion) for assertion in assertions]
+            try:
+                _assert_equivalent(batch, solo, design.name)
+            except AssertionError:
+                mismatched.append(design.name)
+        assert not mismatched, f"batch/solo verdicts diverge on: {mismatched}"
+
+    def test_batch_shares_one_sweep_with_mixed_verdicts(self, arb2_design):
+        engine = FormalEngine(arb2_design)
+        batch = engine.check_batch(
+            [
+                "(req1 == 1 && req2 == 0) |-> (gnt1 == 1);",      # proven
+                "(gnt_ == 3) |-> (gnt1 == 1);",                   # vacuous
+                "(req2 == 0 && gnt_ == 1) ##1 (req1 == 1) |=> (gnt1 == 1);",  # cex
+                "not really sva ===>",                            # syntax error
+                "(phantom == 1) |-> (gnt1 == 1);",                # bind error
+            ]
+        )
+        assert [r.status for r in batch] == [
+            ProofStatus.PROVEN,
+            ProofStatus.VACUOUS,
+            ProofStatus.CEX,
+            ProofStatus.ERROR,
+            ProofStatus.ERROR,
+        ]
+        assert batch[2].counterexample is not None
+        assert batch[2].counterexample.trigger_cycle == 0
+        assert batch[2].counterexample.length >= 3
+
+    def test_batch_witness_identical_to_solo_witness(self, arb2_design):
+        text = "(req2 == 0 && gnt_ == 1) ##1 (req1 == 1) |=> (gnt1 == 1);"
+        batch = FormalEngine(arb2_design).check_batch([text, "(req1 == 0) |-> (gnt2 == 0);"])
+        solo = FormalEngine(arb2_design).check(text)
+        assert batch[0].status is ProofStatus.CEX
+        assert batch[0].counterexample.cycles == solo.counterexample.cycles
+        assert batch[0].counterexample.failed_term == solo.counterexample.failed_term
+
+    def test_budget_exhaustion_falls_back_per_assertion(self, counter_design):
+        config = EngineConfig(max_path_evaluations=10, fallback_cycles=64, fallback_seeds=1)
+        engine = FormalEngine(counter_design, config)
+        batch = engine.check_batch(
+            ["(count <= 15);", "(en == 1 && count == 3) |=> (count == 4);"]
+        )
+        solo_engine = FormalEngine(counter_design, config)
+        solo = [
+            solo_engine.check("(count <= 15);"),
+            solo_engine.check("(en == 1 && count == 3) |=> (count == 4);"),
+        ]
+        for got, expected in zip(batch, solo):
+            assert got.engine == "simulation"
+            assert not got.complete
+            assert got.status is expected.status
+
+    def test_empty_batch(self, arb2_design):
+        assert FormalEngine(arb2_design).check_batch([]) == []
+
+    def test_check_is_a_batch_of_one(self, arb2_design):
+        engine = FormalEngine(arb2_design)
+        result = engine.check("(req1 == 1 && req2 == 0) |-> (gnt1 == 1);")
+        assert result.status is ProofStatus.PROVEN
+        assert result.complete
+
+
+class TestBackendEquivalence:
+    @pytest.mark.parametrize("name", ["counter", "arb2", "mod10_counter", "alu4"])
+    def test_interpreted_and_compiled_engines_agree(self, corpus, name):
+        design = corpus.design(name)
+        assertions = _template_assertions(design)
+        compiled = FormalEngine(
+            design, EngineConfig(backend=COMPILED, fallback_cycles=96, fallback_seeds=1)
+        ).check_batch(assertions)
+        interpreted = FormalEngine(
+            design, EngineConfig(backend=INTERPRETED, fallback_cycles=96, fallback_seeds=1)
+        ).check_batch(assertions)
+        _assert_equivalent(compiled, interpreted, name)
+
+    def test_engine_reports_backend(self, arb2_design):
+        assert FormalEngine(arb2_design, EngineConfig(backend=INTERPRETED)).backend == INTERPRETED
+        assert FormalEngine(arb2_design).backend in (COMPILED, INTERPRETED)
