@@ -12,8 +12,9 @@ together with every substrate they depend on, built from scratch:
 * :mod:`repro.fpv`      — formal property verification engine (JasperGold substitute)
 * :mod:`repro.mining`   — GoldMine/HARM-style assertion miners and ranking
 * :mod:`repro.llm`      — prompts, simulated COTS LLMs, trainable AssertionLLM
-* :mod:`repro.bench`    — the AssertionBench design corpus and ICE construction
-* :mod:`repro.core`     — evaluation pipelines, metrics, figure/table reports
+* :mod:`repro.bench`    — the AssertionBench corpus registry and ICE construction
+* :mod:`repro.core`     — campaign runtime, run store, metrics, figure/table reports
+* :mod:`repro.cli`      — ``python -m repro`` run / resume / report / list-corpora
 """
 
 from . import analysis, bench, core, fpv, hdl, llm, mining, sim, sva

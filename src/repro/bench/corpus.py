@@ -1,4 +1,4 @@
-"""AssertionBench design corpus: 5 training designs + 100 test designs.
+"""AssertionBench design corpus and the pluggable corpus registry.
 
 The paper's benchmark (Section III) has a training set of five fundamental
 designs (Arbiter, Half Adder, Full Adder, T flip-flop, Full Subtractor) whose
@@ -9,13 +9,29 @@ security hardware, arithmetic datapaths, state machines, and flow-control
 hardware.  This module assembles an equivalent corpus from the synthesizable
 builders in :mod:`repro.bench.designs` (the substitution is documented in
 DESIGN.md).
+
+Corpora are looked up by name through the module-level registry
+(:func:`register_corpus` / :func:`get_corpus` / :func:`list_corpora`), so
+campaigns, the CLI, and tests all agree on what "assertionbench" or
+"assertionbench-smoke" means.  Design construction is memoized process-wide:
+a builder's source text is synthesized once per spec, and the parsed +
+elaborated :class:`~repro.hdl.design.Design` is cached by source hash, so
+building a second corpus instance (another suite, another evaluator, a
+benchmark fixture) costs dictionary lookups instead of re-elaboration.
+
+For multi-process campaigns a corpus can be split by design with
+:meth:`AssertionBenchCorpus.shard`: shard *i of n* keeps every *n*-th test
+design (training designs are replicated into every shard because every
+worker needs the ICE pool).
 """
 
 from __future__ import annotations
 
+import hashlib
+import threading
 from dataclasses import dataclass
 from functools import partial
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..hdl.design import Design
 from .designs import arithmetic, basic, comm, fsm, memory, sequential
@@ -157,14 +173,70 @@ TEST_SPECS: List[CorpusSpec] = [
 ]
 
 
+# ---------------------------------------------------------------------------
+# Memoized design construction
+# ---------------------------------------------------------------------------
+
+#: Builder output per spec: synthesizing source is cheap but not free, and
+#: every corpus instance shares the module-level spec lists, so one synthesis
+#: per spec serves the whole process.  Keyed by the (frozen, hashable) spec
+#: itself — an id() key could be recycled by the allocator after a custom
+#: spec is garbage-collected and silently serve the wrong source.
+_SOURCE_CACHE: Dict[CorpusSpec, str] = {}
+#: Parsed + elaborated designs keyed by (source hash, identity fields).  Two
+#: corpus instances (or two differently-named corpora sharing a builder)
+#: reuse one elaboration as long as the source and metadata agree.
+_DESIGN_CACHE: Dict[Tuple[str, str, str, str], Design] = {}
+_BUILD_LOCK = threading.Lock()
+
+
+def source_fingerprint(source: str) -> str:
+    """Stable content hash of design source text (also used by run stores)."""
+    return hashlib.sha256(source.encode()).hexdigest()[:16]
+
+
+def build_design(spec: CorpusSpec) -> Design:
+    """Synthesize, parse, and elaborate one spec, memoized process-wide."""
+    with _BUILD_LOCK:
+        source = _SOURCE_CACHE.get(spec)
+    if source is None:
+        source = spec.builder()
+        with _BUILD_LOCK:
+            _SOURCE_CACHE[spec] = source
+    key = (source_fingerprint(source), spec.name, spec.functionality, spec.category)
+    with _BUILD_LOCK:
+        design = _DESIGN_CACHE.get(key)
+    if design is None:
+        design = Design.from_source(
+            source,
+            name=spec.name,
+            functionality=spec.functionality,
+            category=spec.category,
+        )
+        with _BUILD_LOCK:
+            design = _DESIGN_CACHE.setdefault(key, design)
+    return design
+
+
+def build_cache_stats() -> Dict[str, int]:
+    """Sizes of the process-wide memoization tables (for tests/diagnostics)."""
+    with _BUILD_LOCK:
+        return {"sources": len(_SOURCE_CACHE), "designs": len(_DESIGN_CACHE)}
+
+
 class AssertionBenchCorpus:
-    """Lazily built collection of the benchmark's designs."""
+    """Lazily built collection of the benchmark's designs.
+
+    Designs are built on first access and memoized process-wide (see
+    :func:`build_design`), so constructing many corpus instances does not
+    re-synthesize or re-elaborate identical source.
+    """
 
     def __init__(self, specs: Optional[Sequence[CorpusSpec]] = None):
         self._specs: List[CorpusSpec] = list(specs) if specs is not None else (
             TRAINING_SPECS + TEST_SPECS
         )
-        self._cache: Dict[str, Design] = {}
+        self._by_name: Dict[str, CorpusSpec] = {spec.name: spec for spec in self._specs}
 
     # -- access --------------------------------------------------------------------
 
@@ -176,15 +248,11 @@ class AssertionBenchCorpus:
         return [spec.name for spec in self._specs if split is None or spec.split == split]
 
     def design(self, name: str) -> Design:
-        """Build (or fetch from cache) one design by name."""
-        if name in self._cache:
-            return self._cache[name]
-        for spec in self._specs:
-            if spec.name == name:
-                design = self._build(spec)
-                self._cache[name] = design
-                return design
-        raise KeyError(f"no corpus design named {name!r}")
+        """Build (or fetch from the process-wide cache) one design by name."""
+        spec = self._by_name.get(name)
+        if spec is None:
+            raise KeyError(f"no corpus design named {name!r}")
+        return build_design(spec)
 
     def training_designs(self) -> List[Design]:
         """The five training designs used for ICE construction."""
@@ -205,6 +273,23 @@ class AssertionBenchCorpus:
 
     def __iter__(self):
         return (self.design(spec.name) for spec in self._specs)
+
+    # -- sharding ---------------------------------------------------------------------
+
+    def shard(self, index: int, count: int) -> "AssertionBenchCorpus":
+        """Shard ``index`` of ``count``: every ``count``-th test design.
+
+        Training designs are replicated into every shard (each worker needs
+        the full ICE pool); test designs are dealt round-robin so shard sizes
+        differ by at most one and the union of all shards is the full corpus.
+        """
+        if count < 1:
+            raise ValueError(f"shard count must be >= 1, got {count}")
+        if not 0 <= index < count:
+            raise ValueError(f"shard index {index} outside [0, {count})")
+        train = [spec for spec in self._specs if spec.split == "train"]
+        test = [spec for spec in self._specs if spec.split == "test"]
+        return AssertionBenchCorpus(train + test[index::count])
 
     # -- reports ---------------------------------------------------------------------
 
@@ -229,19 +314,131 @@ class AssertionBenchCorpus:
             if spec.split == split:
                 yield self.design(spec.name)
 
-    # -- construction ------------------------------------------------------------------
 
-    def _build(self, spec: CorpusSpec) -> Design:
-        source = spec.builder()
-        design = Design.from_source(
-            source,
-            name=spec.name,
-            functionality=spec.functionality,
-            category=spec.category,
-        )
-        return design
+# ---------------------------------------------------------------------------
+# The corpus registry
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CorpusEntry:
+    """One registered corpus: a named, lazily-invoked factory."""
+
+    name: str
+    factory: Callable[[], AssertionBenchCorpus]
+    description: str = ""
+
+
+class CorpusRegistry:
+    """Name -> corpus factory mapping shared by campaigns, CLI, and tests."""
+
+    def __init__(self):
+        self._entries: Dict[str, CorpusEntry] = {}
+        self._lock = threading.Lock()
+
+    def register(
+        self,
+        name: str,
+        factory: Callable[[], AssertionBenchCorpus],
+        description: str = "",
+        replace: bool = False,
+    ) -> None:
+        with self._lock:
+            if name in self._entries and not replace:
+                raise ValueError(f"corpus {name!r} is already registered")
+            self._entries[name] = CorpusEntry(name, factory, description)
+
+    def get(
+        self, name: str, shard: Optional[Tuple[int, int]] = None
+    ) -> AssertionBenchCorpus:
+        """Build the named corpus, optionally sharded as ``(index, count)``."""
+        with self._lock:
+            entry = self._entries.get(name)
+        if entry is None:
+            known = ", ".join(sorted(self._entries))
+            raise KeyError(f"no corpus named {name!r} (registered: {known})")
+        corpus = entry.factory()
+        if shard is not None:
+            corpus = corpus.shard(*shard)
+        return corpus
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._entries)
+
+    def entries(self) -> List[CorpusEntry]:
+        with self._lock:
+            return [self._entries[name] for name in sorted(self._entries)]
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._entries
+
+
+#: The process-wide registry.  Module-level helpers below are the public API.
+CORPUS_REGISTRY = CorpusRegistry()
+
+DEFAULT_CORPUS = "assertionbench"
+SMOKE_CORPUS = "assertionbench-smoke"
+
+
+def register_corpus(
+    name: str,
+    factory: Callable[[], AssertionBenchCorpus],
+    description: str = "",
+    replace: bool = False,
+) -> None:
+    """Register a corpus factory under ``name`` in the process-wide registry."""
+    CORPUS_REGISTRY.register(name, factory, description, replace=replace)
+
+
+def get_corpus(
+    name: str = DEFAULT_CORPUS, shard: Optional[Tuple[int, int]] = None
+) -> AssertionBenchCorpus:
+    """Look up a registered corpus by name (optionally sharded)."""
+    return CORPUS_REGISTRY.get(name, shard=shard)
+
+
+def list_corpora() -> List[CorpusEntry]:
+    """All registered corpora, sorted by name."""
+    return CORPUS_REGISTRY.entries()
+
+
+def _smoke_specs() -> List[CorpusSpec]:
+    return TRAINING_SPECS + TEST_SPECS[:6]
+
+
+def _split_specs(design_type_prefixes: Sequence[str]) -> List[CorpusSpec]:
+    keep = [
+        spec
+        for spec in TEST_SPECS
+        if any(spec.category.startswith(prefix) for prefix in design_type_prefixes)
+    ]
+    return TRAINING_SPECS + keep
+
+
+register_corpus(
+    DEFAULT_CORPUS,
+    AssertionBenchCorpus,
+    "Full AssertionBench: 5 training + 100 test designs (paper Section III)",
+)
+register_corpus(
+    SMOKE_CORPUS,
+    lambda: AssertionBenchCorpus(_smoke_specs()),
+    "CI smoke subset: 5 training + 6 small test designs",
+)
+register_corpus(
+    "assertionbench-arithmetic",
+    lambda: AssertionBenchCorpus(_split_specs(["arithmetic", "dsp"])),
+    "Arithmetic and DSP datapaths only",
+)
+register_corpus(
+    "assertionbench-control",
+    lambda: AssertionBenchCorpus(_split_specs(["fsm", "control", "flow-control", "arbitration"])),
+    "State machines, arbiters, and control blocks only",
+)
 
 
 def load_corpus() -> AssertionBenchCorpus:
     """Load the full AssertionBench corpus (5 training + 100 test designs)."""
-    return AssertionBenchCorpus()
+    return get_corpus(DEFAULT_CORPUS)

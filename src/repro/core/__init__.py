@@ -21,11 +21,18 @@ from .metrics import (
 )
 from .observations import ObservationCheck, all_observations
 from .pipeline import EvaluationPipeline, PipelineConfig
+from .runtime import CampaignRuntime, campaign_config
 from .scheduler import (
     SchedulerConfig,
     VerdictCache,
     VerificationService,
     default_workers,
+)
+from .store import (
+    PersistentVerdictCache,
+    ResumeMismatchError,
+    RunStore,
+    config_hash,
 )
 from .reports import (
     FigureSeries,
@@ -42,6 +49,7 @@ from .reports import (
 
 __all__ = [
     "AssertionOutcome",
+    "CampaignRuntime",
     "CEX",
     "DesignEvaluation",
     "ERROR",
@@ -58,7 +66,10 @@ __all__ = [
     "ModelKshotResult",
     "ObservationCheck",
     "PASS",
+    "PersistentVerdictCache",
     "PipelineConfig",
+    "ResumeMismatchError",
+    "RunStore",
     "SchedulerConfig",
     "SuiteConfig",
     "SuiteResults",
@@ -68,7 +79,9 @@ __all__ = [
     "default_workers",
     "accuracy_matrix_report",
     "all_observations",
+    "campaign_config",
     "categorize",
+    "config_hash",
     "corpus_summary",
     "evaluate_cots_models",
     "evaluate_finetuned_models",

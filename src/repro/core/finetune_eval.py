@@ -3,6 +3,11 @@
 Differences from the COTS campaign (Figure 4): the syntax corrector is
 removed, the generator is the fine-tuned model, and the evaluation uses the
 held-out 25% split of AssertionBench rather than the full test set.
+
+Evaluation rides on the shared :class:`~repro.core.runtime.CampaignRuntime`:
+fine-tuning itself is deterministic (seeded split + seeded training), so on
+resume the tuner re-runs cheaply while the expensive per-design evaluation
+cells are served from the run store.
 """
 
 from __future__ import annotations
@@ -19,7 +24,9 @@ from ..llm.finetune import FineTuner, FineTuningConfig, FineTuningReport
 from ..llm.profiles import CODELLAMA_2, LLAMA3_70B, ModelProfile
 from .metrics import EvaluationMatrix, ModelKshotResult
 from .pipeline import EvaluationPipeline, PipelineConfig
+from .runtime import CampaignRuntime
 from .scheduler import VerificationService
+from .store import RunStore
 
 
 @dataclass
@@ -53,12 +60,16 @@ class FinetuneEvaluator:
         examples: Optional[IclExampleSet] = None,
         config: Optional[FinetuneEvaluationConfig] = None,
         service: Optional[VerificationService] = None,
+        store: Optional[RunStore] = None,
     ):
         self.corpus = corpus or AssertionBenchCorpus()
         self.knowledge = knowledge or DesignKnowledgeBase()
         self.config = config or FinetuneEvaluationConfig()
         self.examples = examples or build_icl_examples(self.corpus, self.knowledge)
-        self.pipeline = EvaluationPipeline(self.config.pipeline, service=service)
+        self.runtime = CampaignRuntime(
+            config=self.config.pipeline, service=service, store=store
+        )
+        self.pipeline = EvaluationPipeline(runtime=self.runtime)
         self.tuner = FineTuner(self.knowledge, self.config.finetune)
 
     # -- dataset -----------------------------------------------------------------------
@@ -76,16 +87,10 @@ class FinetuneEvaluator:
         designs = list(designs) if designs is not None else self.campaign_designs()
         model, report = self.tuner.finetune(foundation, designs)
         held_out = [d for d in designs if d.name in set(report.test_design_names)]
-        results = []
-        for k in self.config.k_values:
-            result = ModelKshotResult(model_name=model.name, k=k)
-            examples = self.examples.for_k(k)
-            result.designs.extend(
-                self.pipeline.evaluate_designs(
-                    model, held_out, examples, k, use_corrector=False
-                )
-            )
-            results.append(result)
+        matrix = self.runtime.run_campaign(
+            [model], self.config.k_values, held_out, self.examples, use_corrector=False
+        )
+        results = [matrix.get(model.name, k) for k in self.config.k_values]
         return results, model, report
 
     def evaluate(

@@ -1,13 +1,17 @@
 """COTS in-context-learning evaluation campaign (paper Figures 4, 6, 7).
 
 Runs every simulated COTS model at every k-shot setting over the test-design
-set and aggregates the Pass/CEX/Error accuracy per (model, k).
+set and aggregates the Pass/CEX/Error accuracy per (model, k).  Execution
+goes through the :class:`~repro.core.runtime.CampaignRuntime`: generation
+and verification overlap per design, and when a
+:class:`~repro.core.store.RunStore` is supplied the campaign checkpoints
+after every design and resumes past committed (design, model, k) cells.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from ..bench.corpus import AssertionBenchCorpus
 from ..bench.icl import IclExampleSet, build_icl_examples
@@ -17,7 +21,9 @@ from ..llm.cots import AssertionGenerator, SimulatedCotsLLM
 from ..llm.profiles import COTS_PROFILES, ModelProfile
 from .metrics import EvaluationMatrix, ModelKshotResult
 from .pipeline import EvaluationPipeline, PipelineConfig
+from .runtime import CampaignRuntime
 from .scheduler import VerificationService
+from .store import RunStore
 
 
 @dataclass
@@ -39,12 +45,16 @@ class IclEvaluator:
         examples: Optional[IclExampleSet] = None,
         config: Optional[IclEvaluationConfig] = None,
         service: Optional[VerificationService] = None,
+        store: Optional[RunStore] = None,
     ):
         self.corpus = corpus or AssertionBenchCorpus()
         self.knowledge = knowledge or DesignKnowledgeBase()
         self.config = config or IclEvaluationConfig()
         self.examples = examples or build_icl_examples(self.corpus, self.knowledge)
-        self.pipeline = EvaluationPipeline(self.config.pipeline, service=service)
+        self.runtime = CampaignRuntime(
+            config=self.config.pipeline, service=service, store=store
+        )
+        self.pipeline = EvaluationPipeline(runtime=self.runtime)
 
     # -- generators -----------------------------------------------------------------
 
@@ -69,7 +79,7 @@ class IclEvaluator:
         examples = self.examples.for_k(k)
         result = ModelKshotResult(model_name=generator.name, k=k)
         result.designs.extend(
-            self.pipeline.evaluate_designs(
+            self.runtime.evaluate_stream(
                 generator, designs, examples, k, use_corrector=use_corrector
             )
         )
@@ -80,14 +90,12 @@ class IclEvaluator:
         generators: Optional[Sequence[AssertionGenerator]] = None,
         designs: Optional[Sequence[Design]] = None,
     ) -> EvaluationMatrix:
-        """Evaluate all generators at all configured k values."""
+        """Evaluate all generators at all configured k values (resumable)."""
         generators = list(generators) if generators is not None else self.default_generators()
         designs = list(designs) if designs is not None else self.test_designs()
-        matrix = EvaluationMatrix()
-        for generator in generators:
-            for k in self.config.k_values:
-                matrix.add(self.evaluate_model(generator, k, designs))
-        return matrix
+        return self.runtime.run_campaign(
+            generators, self.config.k_values, designs, self.examples
+        )
 
 
 def evaluate_cots_models(

@@ -1,83 +1,33 @@
-"""The shared generate → correct → verify pipeline (Figure 4 / Figure 8).
+"""Compatibility facade over the campaign runtime (Figure 4 / Figure 8 loop).
 
-Both evaluation campaigns (COTS ICL and fine-tuned AssertionLLM) run the same
-per-design loop:
-
-1. build the k-shot prompt for the test design,
-2. ask the generator for assertion text,
-3. optionally pass each line through the syntax corrector (the COTS flow
-   uses it, the fine-tuned flow removes it — compare Figures 4 and 8),
-4. discharge the surviving assertions on the verification backend,
-5. record the Pass/CEX/Error bucket.
-
-Verification goes through the :class:`~repro.core.scheduler.VerificationService`:
-each design's assertions are discharged as one batched FPV call, design-level
-batches can fan out across worker processes, and FPV verdicts are cached per
-(design, normalised assertion text) so identical assertions emitted by
-different models or k-settings are only proved once.
+The generate → correct → verify loop itself lives in
+:class:`~repro.core.runtime.CampaignRuntime`, which streams the two stages
+(generation for design *N+1* overlaps verification of design *N*) and
+optionally checkpoints every completed cell into a
+:class:`~repro.core.store.RunStore`.  :class:`EvaluationPipeline` keeps the
+historical single-shot API — ``evaluate_design`` / ``evaluate_designs`` —
+for the examples, benchmarks, and tests that drive one generator over a
+handful of designs without campaign bookkeeping; it is a thin wrapper that
+delegates straight to the runtime's streaming path (the old synchronous
+implementation is gone).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
-from ..fpv.engine import EngineConfig
-from ..fpv.result import ProofResult, error_result
 from ..hdl.design import Design
 from ..llm.cots import AssertionGenerator
-from ..llm.decoding import DecodingConfig
-from ..llm.prompt import InContextExample, PromptBuilder
-from ..sva.corrector import SyntaxCorrector
-from ..sva.errors import SvaError
-from ..sva.model import Assertion
-from ..sva.parser import parse_assertion, split_assertion_lines
-from .metrics import AssertionOutcome, DesignEvaluation, categorize
-from .scheduler import (
-    SchedulerConfig,
-    VerdictCache,
-    VerificationService,
-    default_workers,
-)
+from ..llm.prompt import InContextExample
+from .metrics import DesignEvaluation
+from .runtime import CampaignRuntime, PipelineConfig
+from .scheduler import VerdictCache, VerificationService
 
 __all__ = [
     "EvaluationPipeline",
     "PipelineConfig",
     "VerdictCache",
 ]
-
-
-@dataclass
-class PipelineConfig:
-    """Knobs of the evaluation pipeline."""
-
-    use_syntax_corrector: bool = True
-    resolve_signal_names: bool = True
-    decoding: DecodingConfig = field(default_factory=DecodingConfig)
-    engine: EngineConfig = field(
-        default_factory=lambda: EngineConfig(
-            max_states=2048,
-            max_transitions=120_000,
-            max_input_bits=10,
-            max_state_bits=14,
-            max_path_evaluations=120_000,
-            fallback_cycles=256,
-            fallback_seeds=2,
-        )
-    )
-    #: FPV worker processes (1 = in-process; defaults to REPRO_FPV_WORKERS,
-    #: matching SchedulerConfig.workers and SuiteConfig.fpv_workers).
-    workers: int = field(default_factory=default_workers)
-
-
-@dataclass
-class _PreparedLine:
-    """One generated line after correction/parsing, awaiting its verdict."""
-
-    raw: str
-    corrected: str
-    correction_applied: bool
-    assertion: Optional[Assertion]
 
 
 class EvaluationPipeline:
@@ -87,18 +37,19 @@ class EvaluationPipeline:
         self,
         config: Optional[PipelineConfig] = None,
         service: Optional[VerificationService] = None,
+        runtime: Optional[CampaignRuntime] = None,
     ):
-        self._config = config or PipelineConfig()
-        self._prompt_builder = PromptBuilder()
-        self._owns_service = service is None
-        self._service = service or VerificationService(
-            SchedulerConfig(engine=self._config.engine, workers=self._config.workers)
-        )
+        if runtime is None:
+            runtime = CampaignRuntime(config=config, service=service)
+            self._owns_runtime = True
+        else:
+            self._owns_runtime = False
+        self._runtime = runtime
 
     def close(self) -> None:
-        """Shut down the verification service if this pipeline created it."""
-        if self._owns_service:
-            self._service.close()
+        """Shut down the runtime's verification service if we created it."""
+        if self._owns_runtime:
+            self._runtime.close()
 
     def __enter__(self) -> "EvaluationPipeline":
         return self
@@ -107,16 +58,20 @@ class EvaluationPipeline:
         self.close()
 
     @property
+    def runtime(self) -> CampaignRuntime:
+        return self._runtime
+
+    @property
     def config(self) -> PipelineConfig:
-        return self._config
+        return self._runtime.config
 
     @property
     def service(self) -> VerificationService:
-        return self._service
+        return self._runtime.service
 
     @property
     def cache(self) -> VerdictCache:
-        return self._service.cache
+        return self._runtime.cache
 
     # -- main entry points -----------------------------------------------------------
 
@@ -139,107 +94,7 @@ class EvaluationPipeline:
         k: int,
         use_corrector: Optional[bool] = None,
     ) -> List[DesignEvaluation]:
-        """Evaluate one generator over many designs.
-
-        Generation and correction run per design; verification is handed to
-        the scheduler as one design-level batch per design, so with multiple
-        workers the FPV load fans out across processes.
-        """
-        prepared: List[Tuple[Design, List[_PreparedLine]]] = [
-            (design, self._prepare_lines(generator, design, examples, use_corrector))
-            for design in designs
-        ]
-        jobs = [
-            (design, [line.assertion for line in lines if line.assertion is not None])
-            for design, lines in prepared
-        ]
-        verdicts = self._service.check_many(jobs)
-
-        evaluations: List[DesignEvaluation] = []
-        for (design, lines), design_verdicts in zip(prepared, verdicts):
-            evaluation = DesignEvaluation(design_name=design.name)
-            queue = iter(design_verdicts)
-            for line in lines:
-                if line.assertion is None:
-                    proof = error_result(
-                        "assertion could not be parsed"
-                        + (" after correction" if self._corrector_enabled(use_corrector) else ""),
-                        design.name,
-                    )
-                else:
-                    proof = next(queue)
-                evaluation.outcomes.append(
-                    self._outcome(line, design, generator.name, k, proof)
-                )
-            evaluations.append(evaluation)
-        return evaluations
-
-    # -- generation / correction ----------------------------------------------------
-
-    def _corrector_enabled(self, use_corrector: Optional[bool]) -> bool:
-        return (
-            self._config.use_syntax_corrector if use_corrector is None else use_corrector
-        )
-
-    def _prepare_lines(
-        self,
-        generator: AssertionGenerator,
-        design: Design,
-        examples: Sequence[InContextExample],
-        use_corrector: Optional[bool],
-    ) -> List[_PreparedLine]:
-        prompt = self._prompt_builder.build(list(examples), design)
-        generation = generator.generate(prompt, self._config.decoding)
-        lines = split_assertion_lines(generation.text)
-
-        corrector = (
-            SyntaxCorrector(design=design, resolve_signals=self._config.resolve_signal_names)
-            if self._corrector_enabled(use_corrector)
-            else None
-        )
-
-        prepared: List[_PreparedLine] = []
-        for raw in lines:
-            if corrector is not None:
-                correction = corrector.correct(raw)
-                prepared.append(
-                    _PreparedLine(
-                        raw=raw,
-                        corrected=correction.corrected,
-                        correction_applied=bool(correction.applied_rules),
-                        assertion=correction.assertion,
-                    )
-                )
-            else:
-                try:
-                    assertion = parse_assertion(raw)
-                except SvaError:
-                    assertion = None
-                prepared.append(
-                    _PreparedLine(
-                        raw=raw,
-                        corrected=raw,
-                        correction_applied=False,
-                        assertion=assertion,
-                    )
-                )
-        return prepared
-
-    def _outcome(
-        self,
-        line: _PreparedLine,
-        design: Design,
-        model_name: str,
-        k: int,
-        proof: ProofResult,
-    ) -> AssertionOutcome:
-        return AssertionOutcome(
-            design_name=design.name,
-            model_name=model_name,
-            k=k,
-            raw_text=line.raw,
-            corrected_text=line.corrected,
-            category=categorize(proof),
-            proof=proof,
-            correction_applied=line.correction_applied,
+        """Evaluate one generator over many designs via the streaming runtime."""
+        return self._runtime.evaluate_stream(
+            generator, designs, examples, k, use_corrector
         )

@@ -151,7 +151,9 @@ class VerificationService:
         cache: Optional[VerdictCache] = None,
     ):
         self._config = config or SchedulerConfig()
-        self._cache = cache or VerdictCache()
+        # `cache or ...` would drop a supplied-but-empty cache: VerdictCache
+        # defines __len__, so a fresh (persistent) cache is falsy.
+        self._cache = cache if cache is not None else VerdictCache()
         self._pool: Optional[ProcessPoolExecutor] = None
         self._pool_lock = threading.Lock()
 
@@ -181,7 +183,7 @@ class VerificationService:
     def _get_pool(self) -> ProcessPoolExecutor:
         with self._pool_lock:
             if self._pool is None:
-                self._pool = ProcessPoolExecutor(max_workers=self._effective_workers())
+                self._pool = ProcessPoolExecutor(max_workers=self.effective_workers())
             return self._pool
 
     # -- public API ----------------------------------------------------------------
@@ -243,9 +245,13 @@ class VerificationService:
 
     # -- dispatch -------------------------------------------------------------------
 
-    def _effective_workers(self) -> int:
-        # More workers than cores just adds fork/pickle overhead; clamp so a
-        # 4-worker config degrades gracefully on small machines.
+    def effective_workers(self) -> int:
+        """Configured workers clamped to the core count.
+
+        More workers than cores just adds fork/pickle overhead; clamping lets
+        a 4-worker config degrade gracefully on small machines.  Streaming
+        callers size their verifier stage to this number.
+        """
         return min(self._config.workers, os.cpu_count() or 1)
 
     def _dispatch(
@@ -256,7 +262,10 @@ class VerificationService:
         if not batches:
             return
         engine_config = self._config.engine
-        if self._effective_workers() <= 1 or len(batches) == 1:
+        # Single-batch calls still go to the pool when workers are configured:
+        # the streaming runtime submits one design per call from several
+        # threads, and running those inline would serialise them on the GIL.
+        if self.effective_workers() <= 1:
             outcomes = [
                 _check_design_batch(design, assertions, engine_config)
                 for design, assertions, _ in batches

@@ -1,0 +1,577 @@
+"""Durable campaign state: run directories, outcome shards, persistent verdicts.
+
+A *run directory* holds everything a campaign produces, laid out so that any
+prefix of a run is a valid, resumable state:
+
+``manifest.json``
+    Campaign identity — a canonical config hash plus the echoed config — and
+    the run status (``running`` / ``complete``).  Resume refuses a run
+    directory whose manifest hash does not match the requested campaign.
+
+``verdicts.jsonl``
+    The :class:`PersistentVerdictCache`: one appended JSON line per proved
+    (design fingerprint, normalised assertion text) pair.  Loaded into the
+    in-memory :class:`~repro.core.scheduler.VerdictCache` on open, so FPV
+    verdicts survive across processes and runs.
+
+``outcomes/<model>-k<k>.jsonl``
+    Per-assertion :class:`~repro.core.metrics.AssertionOutcome` records, one
+    shard per (model, k) sweep.  Records carry the cell (design) they belong
+    to and an attempt token.
+
+``completed.jsonl``
+    The commit log.  A cell — one (model, k, design) evaluation — only
+    counts as done once its completion marker (with the attempt token and
+    record count) has been appended here, *after* all its outcome records.
+    A crash mid-cell therefore leaves only uncommitted records, which the
+    loader ignores; resume re-runs the cell and its verdicts replay from the
+    persistent cache.
+
+All appends are flushed line-by-line; markers are the atomicity boundary.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..fpv.result import Counterexample, ProofResult, ProofStatus
+from ..sva.errors import SvaError
+from ..sva.parser import parse_assertion
+from .metrics import AssertionOutcome, EvaluationMatrix, ModelKshotResult
+from .metrics import DesignEvaluation
+from .scheduler import VerdictCache
+
+__all__ = [
+    "CellKey",
+    "PersistentVerdictCache",
+    "ResumeMismatchError",
+    "RunStore",
+    "config_hash",
+    "outcome_from_json",
+    "outcome_to_json",
+    "proof_from_json",
+    "proof_to_json",
+]
+
+#: One campaign cell: (model name, k, design name).
+CellKey = Tuple[str, int, str]
+
+_MANIFEST_NAME = "manifest.json"
+_VERDICTS_NAME = "verdicts.jsonl"
+_COMPLETED_NAME = "completed.jsonl"
+_OUTCOMES_DIR = "outcomes"
+
+
+class ResumeMismatchError(RuntimeError):
+    """The run directory belongs to a differently-configured campaign."""
+
+
+def config_hash(config: Dict) -> str:
+    """Canonical hash of a campaign configuration (exact-resume detection)."""
+    canonical = json.dumps(config, sort_keys=True, separators=(",", ":"), default=str)
+    return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+
+
+# ---------------------------------------------------------------------------
+# AssertionOutcome / ProofResult serialization
+# ---------------------------------------------------------------------------
+
+
+def proof_to_json(proof: ProofResult) -> Dict:
+    """Serialize a proof verdict, including its counterexample trace."""
+    data: Dict = {
+        "status": proof.status.value,
+        "design_name": proof.design_name,
+        "reason": proof.reason,
+        "engine": proof.engine,
+        "complete": proof.complete,
+        "states_explored": proof.states_explored,
+        "depth": proof.depth,
+    }
+    if proof.assertion is not None:
+        data["assertion"] = proof.assertion.to_sva(include_assert=True)
+    if proof.counterexample is not None:
+        cex = proof.counterexample
+        data["counterexample"] = {
+            "cycles": cex.cycles,
+            "trigger_cycle": cex.trigger_cycle,
+            "failed_term": cex.failed_term,
+        }
+    return data
+
+
+def proof_from_json(data: Dict) -> ProofResult:
+    assertion = None
+    text = data.get("assertion")
+    if text:
+        try:
+            assertion = parse_assertion(text)
+        except SvaError:
+            assertion = None
+    counterexample = None
+    cex = data.get("counterexample")
+    if cex is not None:
+        counterexample = Counterexample(
+            cycles=[{k: int(v) for k, v in cycle.items()} for cycle in cex["cycles"]],
+            trigger_cycle=cex.get("trigger_cycle", 0),
+            failed_term=cex.get("failed_term", ""),
+        )
+    return ProofResult(
+        status=ProofStatus(data["status"]),
+        assertion=assertion,
+        design_name=data.get("design_name", ""),
+        counterexample=counterexample,
+        reason=data.get("reason", ""),
+        engine=data.get("engine", ""),
+        complete=data.get("complete", True),
+        states_explored=data.get("states_explored", 0),
+        depth=data.get("depth", 0),
+    )
+
+
+def outcome_to_json(outcome: AssertionOutcome) -> Dict:
+    data = {
+        "design_name": outcome.design_name,
+        "model_name": outcome.model_name,
+        "k": outcome.k,
+        "raw_text": outcome.raw_text,
+        "corrected_text": outcome.corrected_text,
+        "category": outcome.category,
+        "correction_applied": outcome.correction_applied,
+    }
+    if outcome.proof is not None:
+        data["proof"] = proof_to_json(outcome.proof)
+    return data
+
+
+def outcome_from_json(data: Dict) -> AssertionOutcome:
+    proof = data.get("proof")
+    return AssertionOutcome(
+        design_name=data["design_name"],
+        model_name=data["model_name"],
+        k=data["k"],
+        raw_text=data["raw_text"],
+        corrected_text=data["corrected_text"],
+        category=data["category"],
+        proof=proof_from_json(proof) if proof is not None else None,
+        correction_applied=data.get("correction_applied", False),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Persistent verdict cache
+# ---------------------------------------------------------------------------
+
+
+class PersistentVerdictCache(VerdictCache):
+    """A :class:`VerdictCache` backed by an append-only JSONL file.
+
+    Keys are whatever the scheduler uses — design fingerprint (name + source
+    hash) plus normalised assertion text — so the cache is content-addressed:
+    a renamed run directory, a new process, or a later campaign all hit as
+    long as the design source and assertion text are unchanged.  ``put``
+    appends one line and flushes before publishing the entry in memory;
+    loading replays the file (last write wins) and counts neither hits nor
+    misses.
+    """
+
+    def __init__(self, path: Path):
+        super().__init__()
+        self._path = Path(path)
+        self._io_lock = threading.Lock()
+        self._handle = None
+        self._loaded_entries = 0
+        self._load()
+
+    @property
+    def path(self) -> Path:
+        return self._path
+
+    @property
+    def loaded_entries(self) -> int:
+        """How many distinct verdicts were replayed from disk on open."""
+        return self._loaded_entries
+
+    def _load(self) -> None:
+        if not self._path.exists():
+            return
+        for record in _read_jsonl(self._path):
+            key = (record["design"], record["text"])
+            self._verdicts[key] = proof_from_json(record["proof"])
+        self._loaded_entries = len(self._verdicts)
+
+    def put(self, design_name: str, text: str, result: ProofResult) -> None:
+        key = self._key(design_name, text)
+        line = json.dumps(
+            {"design": key[0], "text": key[1], "proof": proof_to_json(result)}
+        )
+        with self._io_lock:
+            if self._handle is None:
+                self._path.parent.mkdir(parents=True, exist_ok=True)
+                prefix = "\n" if _missing_trailing_newline(self._path) else ""
+                self._handle = self._path.open("a", encoding="utf-8")
+                if prefix:
+                    self._handle.write(prefix)
+            self._handle.write(line + "\n")
+            self._handle.flush()
+        super().put(design_name, text, result)
+
+    def close(self) -> None:
+        """Close the append handle (reopened automatically on the next put)."""
+        with self._io_lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+
+# ---------------------------------------------------------------------------
+# The run store
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CellMarker:
+    """One committed cell: which attempt's records are authoritative."""
+
+    cell: CellKey
+    attempt: str
+    count: int
+
+
+class _JsonlTail:
+    """Incremental JSONL reader: parses only bytes appended since last read.
+
+    Only complete (newline-terminated) lines are consumed; a torn tail from
+    a crash is left un-consumed and retried once more bytes arrive.  If the
+    file shrinks (deleted/recreated), ``read_new`` returns ``None`` so the
+    caller can rebuild its derived state from scratch.
+    """
+
+    def __init__(self, path: Path):
+        self.path = Path(path)
+        self._offset = 0
+
+    def read_new(self) -> Optional[List[Dict]]:
+        try:
+            size = self.path.stat().st_size
+        except FileNotFoundError:
+            if self._offset:
+                self._offset = 0
+                return None
+            return []
+        if size < self._offset:
+            self._offset = 0
+            return None
+        if size == self._offset:
+            return []
+        with self.path.open("rb") as handle:
+            handle.seek(self._offset)
+            data = handle.read(size - self._offset)
+        end = data.rfind(b"\n")
+        if end < 0:
+            return []
+        self._offset += end + 1
+        records: List[Dict] = []
+        for raw in data[:end].splitlines():
+            raw = raw.strip()
+            if not raw:
+                continue
+            try:
+                records.append(json.loads(raw.decode("utf-8")))
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                # A line torn by a crash that later appends restored; the
+                # record it belonged to was never committed.
+                continue
+        return records
+
+
+class RunStore:
+    """Artifact store for one campaign run directory."""
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        (self.root / _OUTCOMES_DIR).mkdir(exist_ok=True)
+        self._append_lock = threading.Lock()
+        self._cache: Optional[PersistentVerdictCache] = None
+        #: Open append handles per file, so per-cell commits don't pay two
+        #: opens each; every append still flushes before returning.
+        self._handles: Dict[Path, object] = {}
+        #: Incremental readers + derived state, so resume/report replay is
+        #: linear in file size instead of rescanning whole shards per cell.
+        self._shard_tails: Dict[Path, _JsonlTail] = {}
+        self._shard_groups: Dict[Path, Dict[Tuple[str, str], List[Dict]]] = {}
+        self._completed_tail: Optional[_JsonlTail] = None
+        self._completed_markers: Dict[CellKey, CellMarker] = {}
+        #: Monotonic per-process attempt salt; combined with the PID it makes
+        #: attempt tokens unique across interrupted runs appending to one shard.
+        self._attempt_counter = 0
+
+    def close(self) -> None:
+        """Close cached append handles (reopened lazily on the next write)."""
+        with self._append_lock:
+            for handle in self._handles.values():
+                handle.close()
+            self._handles.clear()
+        if self._cache is not None:
+            self._cache.close()
+
+    def _append_lines(self, path: Path, lines: List[str]) -> None:
+        """Append pre-serialized lines and flush; caller holds no lock."""
+        with self._append_lock:
+            handle = self._handles.get(path)
+            if handle is None:
+                prefix = "\n" if _missing_trailing_newline(path) else ""
+                handle = path.open("a", encoding="utf-8")
+                if prefix:
+                    # Restore the line boundary after a torn tail so the
+                    # first new record can't merge with the dead partial line.
+                    handle.write(prefix)
+                self._handles[path] = handle
+            handle.write("".join(line + "\n" for line in lines))
+            handle.flush()
+
+    # -- manifest ---------------------------------------------------------------
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.root / _MANIFEST_NAME
+
+    def read_manifest(self) -> Optional[Dict]:
+        if not self.manifest_path.exists():
+            return None
+        return json.loads(self.manifest_path.read_text(encoding="utf-8"))
+
+    def write_manifest(self, manifest: Dict) -> None:
+        """Write the manifest atomically (tmp file + rename)."""
+        tmp = self.manifest_path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(manifest, indent=2, default=str) + "\n", encoding="utf-8")
+        os.replace(tmp, self.manifest_path)
+
+    def begin_run(self, config: Dict, resume_only: bool = False) -> Dict:
+        """Open (or create) the manifest for a campaign with ``config``.
+
+        Raises :class:`ResumeMismatchError` when the directory already holds
+        a differently-configured campaign, or when ``resume_only`` is set and
+        there is nothing to resume.
+        """
+        digest = config_hash(config)
+        existing = self.read_manifest()
+        if existing is not None:
+            if existing.get("config_hash") != digest:
+                raise ResumeMismatchError(
+                    f"run directory {self.root} holds campaign "
+                    f"{existing.get('config_hash')!r}, requested {digest!r}; "
+                    "use a fresh --run-dir or matching configuration"
+                )
+            manifest = dict(existing)
+            manifest["status"] = "running"
+            manifest["resumes"] = int(existing.get("resumes", 0)) + (1 if resume_only else 0)
+        else:
+            if resume_only:
+                raise ResumeMismatchError(
+                    f"run directory {self.root} has no manifest to resume"
+                )
+            manifest = {
+                "version": 1,
+                "config_hash": digest,
+                "config": config,
+                "status": "running",
+                "resumes": 0,
+            }
+        self.write_manifest(manifest)
+        return manifest
+
+    def finish_run(self) -> None:
+        manifest = self.read_manifest()
+        if manifest is not None:
+            manifest["status"] = "complete"
+            self.write_manifest(manifest)
+
+    # -- persistent verdict cache ----------------------------------------------
+
+    def verdict_cache(self) -> PersistentVerdictCache:
+        """The run's persistent verdict cache (one instance per store)."""
+        if self._cache is None:
+            self._cache = PersistentVerdictCache(self.root / _VERDICTS_NAME)
+        return self._cache
+
+    # -- outcome shards and the commit log ---------------------------------------
+
+    def shard_path(self, model_name: str, k: int) -> Path:
+        return self.root / _OUTCOMES_DIR / f"{_slug(model_name)}-k{k}.jsonl"
+
+    @property
+    def completed_path(self) -> Path:
+        return self.root / _COMPLETED_NAME
+
+    def record_cell(
+        self,
+        model_name: str,
+        k: int,
+        design_name: str,
+        outcomes: Sequence[AssertionOutcome],
+    ) -> None:
+        """Durably record one completed cell.
+
+        Outcome records are appended to the (model, k) shard first; the
+        completion marker in ``completed.jsonl`` is the commit point.
+        """
+        with self._append_lock:
+            self._attempt_counter += 1
+            attempt = f"{os.getpid()}-{self._attempt_counter}"
+        cell = {"model": model_name, "k": k, "design": design_name}
+        self._append_lines(
+            self.shard_path(model_name, k),
+            [
+                json.dumps(
+                    {
+                        **cell,
+                        "attempt": attempt,
+                        "idx": index,
+                        "outcome": outcome_to_json(outcome),
+                    }
+                )
+                for index, outcome in enumerate(outcomes)
+            ],
+        )
+        self._append_lines(
+            self.completed_path,
+            [json.dumps({**cell, "attempt": attempt, "count": len(outcomes)})],
+        )
+
+    def completed_cells(self) -> Dict[CellKey, CellMarker]:
+        """All committed cells; the last marker per cell wins.
+
+        Incremental: only commit-log bytes appended since the previous call
+        are parsed, so polling this during a campaign stays cheap.
+        """
+        if self._completed_tail is None:
+            self._completed_tail = _JsonlTail(self.completed_path)
+        new = self._completed_tail.read_new()
+        if new is None:  # the log shrank — rebuild from scratch
+            self._completed_markers = {}
+            new = self._completed_tail.read_new() or []
+        for record in new:
+            cell: CellKey = (record["model"], record["k"], record["design"])
+            self._completed_markers[cell] = CellMarker(
+                cell, record["attempt"], record["count"]
+            )
+        return dict(self._completed_markers)
+
+    def load_cell(
+        self, model_name: str, k: int, design_name: str
+    ) -> Optional[List[AssertionOutcome]]:
+        """Load one committed cell's outcomes, or ``None`` if uncommitted."""
+        marker = self.completed_cells().get((model_name, k, design_name))
+        if marker is None:
+            return None
+        return self.load_marked(marker)
+
+    def _shard_records(self, model_name: str, k: int) -> Dict[Tuple[str, str], List[Dict]]:
+        """Shard records grouped by (design, attempt), parsed incrementally."""
+        path = self.shard_path(model_name, k)
+        tail = self._shard_tails.get(path)
+        if tail is None:
+            tail = _JsonlTail(path)
+            self._shard_tails[path] = tail
+            self._shard_groups[path] = {}
+        new = tail.read_new()
+        if new is None:  # the shard shrank — rebuild from scratch
+            self._shard_groups[path] = {}
+            new = tail.read_new() or []
+        groups = self._shard_groups[path]
+        for record in new:
+            groups.setdefault((record["design"], record["attempt"]), []).append(record)
+        return groups
+
+    def load_marked(self, marker: CellMarker) -> List[AssertionOutcome]:
+        """Load the outcome records committed by ``marker``, in record order."""
+        model_name, k, design_name = marker.cell
+        records = list(
+            self._shard_records(model_name, k).get((design_name, marker.attempt), [])
+        )
+        records.sort(key=lambda record: record["idx"])
+        if len(records) != marker.count:
+            raise RuntimeError(
+                f"cell {marker.cell} committed {marker.count} records but "
+                f"{len(records)} are present in {self.shard_path(model_name, k)}"
+            )
+        return [outcome_from_json(record["outcome"]) for record in records]
+
+    def load_matrix(self) -> EvaluationMatrix:
+        """Reassemble the :class:`EvaluationMatrix` of every committed cell.
+
+        Designs appear in commit order within each (model, k) result, which
+        matches campaign order because cells are committed as they stream.
+        """
+        matrix = EvaluationMatrix()
+        by_sweep: Dict[Tuple[str, int], ModelKshotResult] = {}
+        for cell, marker in self.completed_cells().items():
+            model_name, k, design_name = cell
+            sweep = by_sweep.get((model_name, k))
+            if sweep is None:
+                sweep = ModelKshotResult(model_name=model_name, k=k)
+                by_sweep[(model_name, k)] = sweep
+                matrix.add(sweep)
+            evaluation = DesignEvaluation(design_name=design_name)
+            evaluation.outcomes.extend(self.load_marked(marker))
+            sweep.designs.append(evaluation)
+        return matrix
+
+    # -- diagnostics -------------------------------------------------------------
+
+    def describe(self) -> Dict:
+        """Run-directory summary used by the CLI ``report`` verb."""
+        manifest = self.read_manifest() or {}
+        cells = self.completed_cells()
+        cache = self.verdict_cache()
+        return {
+            "root": str(self.root),
+            "status": manifest.get("status", "absent"),
+            "config_hash": manifest.get("config_hash", ""),
+            "resumes": manifest.get("resumes", 0),
+            "completed_cells": len(cells),
+            "persistent_verdicts": len(cache),
+        }
+
+
+def _slug(name: str) -> str:
+    """Filesystem-safe shard name component."""
+    return "".join(ch if ch.isalnum() else "_" for ch in name).strip("_") or "model"
+
+
+def _missing_trailing_newline(path: Path) -> bool:
+    """True when the file exists, is non-empty, and has a torn last line."""
+    try:
+        size = path.stat().st_size
+    except FileNotFoundError:
+        return False
+    if size == 0:
+        return False
+    with path.open("rb") as handle:
+        handle.seek(-1, os.SEEK_END)
+        return handle.read(1) != b"\n"
+
+
+def _read_jsonl(path: Path) -> Iterable[Dict]:
+    """Yield parsed records, tolerating a torn final line from a crash."""
+    if not path.exists():
+        return
+    with path.open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                yield json.loads(line)
+            except json.JSONDecodeError:
+                # A partially-flushed trailing line; everything before the
+                # commit marker is still consistent, so skip it.
+                continue

@@ -1,0 +1,133 @@
+"""Golden-text tests for the report renderers behind the CLI ``report`` verb.
+
+The rendered text of every table/figure is pinned exactly: the CLI, the
+benchmark harness, and EXPERIMENTS.md all print these renderings, so a
+formatting or aggregation change must show up as an explicit golden update
+here, not as silent drift.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.core import EvaluationMatrix, ModelKshotResult
+from repro.core.metrics import CEX, ERROR, PASS, AssertionOutcome, DesignEvaluation
+from repro.core.reports import (
+    accuracy_matrix_report,
+    corpus_summary,
+    figure3_design_sizes,
+    figure6_accuracy,
+    figure7_model_comparison,
+    figure9_finetuned,
+    table1_design_details,
+)
+
+TABLE1_GOLDEN = (
+    "Table I: representative designs in the AssertionBench test set\n"
+    "Verilog Design           # of Lines  Design Type    Design Functionality            \n"
+    "-----------------------  ----------  -------------  --------------------------------\n"
+    "ca_prng                  1105        Sequential     Compact pattern generator       \n"
+    "cavlc_read_total_coeffs  1089        Sequential     Video encoder coefficient table \n"
+    "cavlc_read_total_zeros   676         Combinational  Video encoder total-zeros table \n"
+    "ge_prng_mid              369         Sequential     16-bank pattern generator       \n"
+    "cavlc_read_levels        321         Sequential     Video encoder level decode table"
+)
+
+CORPUS_SUMMARY_GOLDEN = (
+    "AssertionBench corpus summary\n"
+    "metric            value\n"
+    "----------------  -----\n"
+    "test designs      100  \n"
+    "training designs  5    \n"
+    "combinational     28   \n"
+    "sequential        72   \n"
+    "min LoC           7    \n"
+    "max LoC           1105 \n"
+    "mean LoC          69.4 "
+)
+
+#: Full Figure 3 table (100 rows) pinned by content hash; head pinned inline.
+FIGURE3_SHA256 = "f2874e9d9e5e20af0313089e282d3ee50f9694e76fe58177892f339633c3a403"
+FIGURE3_HEAD = (
+    "Figure 3: test-set design sizes (LoC, excluding comments and blanks)\n"
+    "design                   loc \n"
+    "-----------------------  ----\n"
+    "ca_prng                  1105"
+)
+
+FIGURE6_GOLDEN = (
+    "Accuracy of generated assertions for GPT-4o\n"
+    "k       Pass   CEX    Error\n"
+    "------  -----  -----  -----\n"
+    "1-shot  0.600  0.300  0.100\n"
+    "5-shot  0.800  0.100  0.100"
+)
+
+FIGURE7_GOLDEN = (
+    "Comparison of generated-assertion accuracy across models (1-shot)\n"
+    "model       Pass   CEX    Error\n"
+    "----------  -----  -----  -----\n"
+    "GPT-4o      0.600  0.300  0.100\n"
+    "LLaMa3-70B  0.400  0.400  0.200"
+)
+
+ACCURACY_MATRIX_GOLDEN = (
+    "Accuracy matrix\n"
+    "model       k  # assertions  Pass   CEX    Error\n"
+    "----------  -  ------------  -----  -----  -----\n"
+    "GPT-4o      1  10            0.600  0.300  0.100\n"
+    "GPT-4o      5  10            0.800  0.100  0.100\n"
+    "LLaMa3-70B  1  10            0.400  0.400  0.200\n"
+    "LLaMa3-70B  5  10            0.500  0.400  0.100"
+)
+
+
+def _sweep(model: str, k: int, passed: int, cex: int, error: int) -> ModelKshotResult:
+    result = ModelKshotResult(model_name=model, k=k)
+    evaluation = DesignEvaluation(design_name="d")
+    for category, count in ((PASS, passed), (CEX, cex), (ERROR, error)):
+        for index in range(count):
+            evaluation.outcomes.append(
+                AssertionOutcome("d", model, k, f"raw{index}", f"cor{index}", category)
+            )
+    result.designs.append(evaluation)
+    return result
+
+
+def _fixed_matrix() -> EvaluationMatrix:
+    matrix = EvaluationMatrix()
+    matrix.add(_sweep("GPT-4o", 1, 6, 3, 1))
+    matrix.add(_sweep("GPT-4o", 5, 8, 1, 1))
+    matrix.add(_sweep("LLaMa3-70B", 1, 4, 4, 2))
+    matrix.add(_sweep("LLaMa3-70B", 5, 5, 4, 1))
+    return matrix
+
+
+class TestCorpusTables:
+    def test_table1_golden(self, corpus):
+        assert table1_design_details(corpus).text == TABLE1_GOLDEN
+
+    def test_corpus_summary_golden(self, corpus):
+        assert corpus_summary(corpus).text == CORPUS_SUMMARY_GOLDEN
+
+    def test_figure3_golden(self, corpus):
+        figure3 = figure3_design_sizes(corpus)
+        assert figure3.text.startswith(FIGURE3_HEAD)
+        assert len(figure3.rows) == 100
+        assert hashlib.sha256(figure3.text.encode()).hexdigest() == FIGURE3_SHA256
+
+
+class TestAccuracyFigures:
+    def test_figure6_golden(self):
+        assert figure6_accuracy(_fixed_matrix(), "GPT-4o").text == FIGURE6_GOLDEN
+
+    def test_figure7_golden(self):
+        assert figure7_model_comparison(_fixed_matrix(), 1).text == FIGURE7_GOLDEN
+
+    def test_figure9_reuses_figure6_rendering(self):
+        figures = figure9_finetuned(_fixed_matrix())
+        assert set(figures) == {"GPT-4o", "LLaMa3-70B"}
+        assert figures["GPT-4o"].text == FIGURE6_GOLDEN
+
+    def test_accuracy_matrix_golden(self):
+        assert accuracy_matrix_report(_fixed_matrix(), "Accuracy matrix").text == ACCURACY_MATRIX_GOLDEN

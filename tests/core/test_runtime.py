@@ -1,0 +1,233 @@
+"""Tests for the durable campaign runtime: streaming, checkpointing, resume."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    CampaignRuntime,
+    EvaluationMatrix,
+    EvaluationPipeline,
+    PipelineConfig,
+    ResumeMismatchError,
+    RunStore,
+    campaign_config,
+)
+from repro.fpv import EngineConfig
+from repro.llm import GPT_35, GPT_4O, SimulatedCotsLLM
+
+_FAST_ENGINE = EngineConfig(
+    max_states=1024,
+    max_transitions=60_000,
+    max_input_bits=8,
+    max_state_bits=12,
+    max_path_evaluations=60_000,
+    fallback_cycles=96,
+    fallback_seeds=1,
+)
+
+
+def _fast_config() -> PipelineConfig:
+    return PipelineConfig(engine=_FAST_ENGINE, workers=1)
+
+
+def _matrix_signature(matrix: EvaluationMatrix):
+    """Order-sensitive content fingerprint of a whole evaluation matrix."""
+    signature = {}
+    for model_name in matrix.model_names:
+        for k, result in matrix.results[model_name].items():
+            signature[(model_name, k)] = [
+                (
+                    evaluation.design_name,
+                    [
+                        (o.raw_text, o.corrected_text, o.category, o.correction_applied)
+                        for o in evaluation.outcomes
+                    ],
+                )
+                for evaluation in result.designs
+            ]
+    return signature
+
+
+@pytest.fixture(scope="module")
+def campaign_designs(corpus):
+    return corpus.test_designs(limit=5)
+
+
+@pytest.fixture(scope="module")
+def generators(knowledge):
+    return [SimulatedCotsLLM(GPT_4O, knowledge), SimulatedCotsLLM(GPT_35, knowledge)]
+
+
+@pytest.fixture(scope="module")
+def reference_matrix(generators, campaign_designs, icl_examples):
+    """The uninterrupted, store-less campaign everything else must match."""
+    with CampaignRuntime(config=_fast_config()) as runtime:
+        return runtime.run_campaign(generators, (1,), campaign_designs, icl_examples)
+
+
+class TestStreaming:
+    def test_streaming_matches_pipeline_facade(
+        self, generators, campaign_designs, icl_examples, reference_matrix
+    ):
+        """The EvaluationPipeline facade and the runtime agree exactly."""
+        with EvaluationPipeline(config=_fast_config()) as pipeline:
+            evaluations = pipeline.evaluate_designs(
+                generators[0], campaign_designs, icl_examples.for_k(1), k=1
+            )
+        expected = reference_matrix.get(generators[0].name, 1)
+        assert [e.design_name for e in evaluations] == [
+            e.design_name for e in expected.designs
+        ]
+        assert [
+            [(o.raw_text, o.category) for o in e.outcomes] for e in evaluations
+        ] == [
+            [(o.raw_text, o.category) for o in e.outcomes] for e in expected.designs
+        ]
+
+    def test_streaming_bounded_window(self, generators, campaign_designs, icl_examples):
+        """A window of 1 still yields complete, ordered results."""
+        with CampaignRuntime(config=_fast_config(), max_inflight=1) as runtime:
+            evaluations = runtime.evaluate_stream(
+                generators[0], campaign_designs, icl_examples.for_k(1), 1
+            )
+        assert [e.design_name for e in evaluations] == [d.name for d in campaign_designs]
+        assert all(e.outcomes for e in evaluations)
+
+    def test_overlapped_workers_match_inline(
+        self, generators, campaign_designs, icl_examples, reference_matrix, tmp_path
+    ):
+        """The threaded multi-worker path agrees with the inline path exactly."""
+        config = PipelineConfig(engine=_FAST_ENGINE, workers=2)
+        store = RunStore(tmp_path / "overlap")
+        with CampaignRuntime(config=config, store=store) as runtime:
+            matrix = runtime.run_campaign(
+                generators, (1,), campaign_designs, icl_examples
+            )
+        assert _matrix_signature(matrix) == _matrix_signature(reference_matrix)
+        assert len(store.completed_cells()) == 2 * len(campaign_designs)
+
+
+class _InterruptingStore(RunStore):
+    """A RunStore whose commit log 'crashes' after a fixed number of cells."""
+
+    def __init__(self, root, fail_after: int):
+        super().__init__(root)
+        self._commits_left = fail_after
+
+    def record_cell(self, model_name, k, design_name, outcomes):
+        if self._commits_left == 0:
+            # Simulated kill -9 between a cell's verification (verdicts are
+            # already in the persistent cache) and its commit marker.
+            raise KeyboardInterrupt("simulated crash")
+        super().record_cell(model_name, k, design_name, outcomes)
+        self._commits_left -= 1
+
+
+class TestKillAndResume:
+    def test_interrupted_campaign_resumes_to_identical_matrix(
+        self, tmp_path, knowledge, campaign_designs, icl_examples, reference_matrix
+    ):
+        run_dir = tmp_path / "run"
+        generators = [SimulatedCotsLLM(GPT_4O, knowledge), SimulatedCotsLLM(GPT_35, knowledge)]
+
+        # Phase 1: crash after 3 committed cells (mid-sweep for model 1).
+        crashing = _InterruptingStore(run_dir, fail_after=3)
+        runtime = CampaignRuntime(config=_fast_config(), store=crashing)
+        with pytest.raises(KeyboardInterrupt):
+            runtime.run_campaign(generators, (1,), campaign_designs, icl_examples)
+        runtime.close()
+
+        committed = RunStore(run_dir).completed_cells()
+        assert len(committed) == 3
+        # Verdicts of the crashed (uncommitted) cell survived in the cache.
+        assert len(RunStore(run_dir).verdict_cache()) > 0
+
+        # Phase 2: fresh process — new store, runtime, service, generators.
+        resumed_store = RunStore(run_dir)
+        fresh_generators = [
+            SimulatedCotsLLM(GPT_4O, knowledge),
+            SimulatedCotsLLM(GPT_35, knowledge),
+        ]
+        with CampaignRuntime(config=_fast_config(), store=resumed_store) as resumed:
+            matrix = resumed.run_campaign(
+                fresh_generators, (1,), campaign_designs, icl_examples
+            )
+            stats = resumed.cache.stats()
+
+        # The resumed matrix is identical to an uninterrupted run...
+        assert _matrix_signature(matrix) == _matrix_signature(reference_matrix)
+        # ...with already-proved verdicts served from the persistent cache.
+        assert stats["hits"] > 0
+
+        # Every cell is now committed; a third pass re-runs nothing.
+        assert len(resumed_store.completed_cells()) == 2 * len(campaign_designs)
+
+    def test_completed_run_replays_without_generation(
+        self, tmp_path, knowledge, campaign_designs, icl_examples, reference_matrix
+    ):
+        run_dir = tmp_path / "complete"
+        generator = SimulatedCotsLLM(GPT_4O, knowledge)
+        with CampaignRuntime(config=_fast_config(), store=RunStore(run_dir)) as runtime:
+            first = runtime.run_campaign([generator], (1,), campaign_designs, icl_examples)
+
+        class _Exploding(SimulatedCotsLLM):
+            def generate(self, prompt, config):
+                raise AssertionError("generation must not run for committed cells")
+
+        replayer = _Exploding(GPT_4O, knowledge)
+        with CampaignRuntime(config=_fast_config(), store=RunStore(run_dir)) as runtime:
+            replayed = runtime.run_campaign([replayer], (1,), campaign_designs, icl_examples)
+        assert _matrix_signature(replayed) == _matrix_signature(first)
+        assert _matrix_signature(replayed) == {
+            key: value
+            for key, value in _matrix_signature(reference_matrix).items()
+            if key[0] == GPT_4O.name
+        }
+
+
+class TestServiceStoreWiring:
+    def test_mismatched_service_and_store_are_rejected(self, tmp_path):
+        from repro.core import SchedulerConfig, VerificationService
+
+        store = RunStore(tmp_path / "wiring")
+        detached = VerificationService(SchedulerConfig(engine=_FAST_ENGINE))
+        with pytest.raises(ValueError, match="verdict cache"):
+            CampaignRuntime(config=_fast_config(), service=detached, store=store)
+
+    def test_service_fronted_by_store_cache_is_accepted(self, tmp_path):
+        from repro.core import SchedulerConfig, VerificationService
+
+        store = RunStore(tmp_path / "wiring-ok")
+        service = VerificationService(
+            SchedulerConfig(engine=_FAST_ENGINE), cache=store.verdict_cache()
+        )
+        runtime = CampaignRuntime(config=_fast_config(), service=service, store=store)
+        assert runtime.cache is store.verdict_cache()
+
+
+class TestManifestGuard:
+    def test_changed_campaign_is_rejected(
+        self, tmp_path, knowledge, campaign_designs, icl_examples
+    ):
+        store = RunStore(tmp_path / "guard")
+        generator = SimulatedCotsLLM(GPT_4O, knowledge)
+        config = _fast_config()
+        payload = campaign_config([generator], (1,), campaign_designs, config)
+        store.begin_run(payload)
+
+        shrunk = campaign_config([generator], (1,), campaign_designs[:2], config)
+        with pytest.raises(ResumeMismatchError):
+            RunStore(tmp_path / "guard").begin_run(shrunk)
+
+    def test_worker_count_does_not_change_identity(
+        self, knowledge, campaign_designs
+    ):
+        generator = SimulatedCotsLLM(GPT_4O, knowledge)
+        one = campaign_config(
+            [generator], (1,), campaign_designs, PipelineConfig(workers=1)
+        )
+        four = campaign_config(
+            [generator], (1,), campaign_designs, PipelineConfig(workers=4)
+        )
+        assert one == four

@@ -1,0 +1,107 @@
+"""Property-based round-trip tests for the SVA layer.
+
+For every assertion the corpus's generators can emit — bare property bodies,
+``assert property (...)`` wrappers, labelled assertions, clocked and
+unclocked forms, ``disable iff`` resets, multi-term sequences with ``##N``
+delays and same-cycle conjunctions — parsing the rendered text must yield an
+equivalent :class:`~repro.sva.model.Assertion`, and render → parse must be
+idempotent (a second round trip changes nothing).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hdl import parse_expression
+from repro.sva import AssertionSignature, parse_assertion
+from repro.sva.model import NON_OVERLAPPED, OVERLAPPED, Assertion, SequenceTerm
+
+#: Signal names drawn from the styles the corpus designs actually use.
+_SIGNALS = ("a", "b", "count", "en", "req1", "gnt_", "data_out", "state")
+_COMPARATORS = ("==", "!=", "<", "<=", ">", ">=")
+
+signals = st.sampled_from(_SIGNALS)
+numbers = st.integers(min_value=0, max_value=255)
+offsets = st.integers(min_value=0, max_value=4)
+
+
+@st.composite
+def propositions(draw) -> str:
+    """A boolean proposition in the styles the generators emit."""
+    flavour = draw(st.integers(min_value=0, max_value=3))
+    sig = draw(signals)
+    if flavour == 0:
+        return f"{sig} {draw(st.sampled_from(_COMPARATORS))} {draw(numbers)}"
+    if flavour == 1:
+        return f"{sig} {draw(st.sampled_from(_COMPARATORS))} {draw(signals)}"
+    if flavour == 2:
+        return f"!{sig}"
+    return f"({sig} & {draw(signals)}) == {draw(st.integers(min_value=0, max_value=1))}"
+
+
+@st.composite
+def sequence_terms(draw, max_terms: int = 3):
+    count = draw(st.integers(min_value=1, max_value=max_terms))
+    return [
+        SequenceTerm(draw(offsets), parse_expression(draw(propositions())))
+        for _ in range(count)
+    ]
+
+
+@st.composite
+def assertions(draw) -> Assertion:
+    return Assertion(
+        antecedent=draw(sequence_terms()),
+        consequent=draw(sequence_terms(max_terms=2)),
+        implication=draw(st.sampled_from((OVERLAPPED, NON_OVERLAPPED))),
+        clock=draw(st.sampled_from((None, "clk", "clock"))),
+        clock_edge=draw(st.sampled_from(("posedge", "negedge"))),
+        disable_iff=(
+            parse_expression(draw(propositions()))
+            if draw(st.booleans())
+            else None
+        ),
+        name=draw(st.sampled_from(("", "p_check", "a1"))),
+    )
+
+
+def _equivalent(left: Assertion, right: Assertion) -> bool:
+    return (
+        AssertionSignature.of(left) == AssertionSignature.of(right)
+        and left.implication == right.implication
+        and left.clock == right.clock
+        and (left.clock is None or left.clock_edge == right.clock_edge)
+        and str(left.disable_iff) == str(right.disable_iff)
+    )
+
+
+class TestRoundTrip:
+    @given(assertion=assertions(), include_assert=st.booleans())
+    @settings(max_examples=200, deadline=None)
+    def test_parse_render_parse_is_equivalent(self, assertion, include_assert):
+        rendered = assertion.to_sva(include_assert=include_assert)
+        reparsed = parse_assertion(rendered)
+        assert _equivalent(assertion, reparsed), rendered
+
+    @given(assertion=assertions())
+    @settings(max_examples=100, deadline=None)
+    def test_round_trip_is_idempotent(self, assertion):
+        """render → parse → render → parse reaches a fixed point."""
+        once = parse_assertion(assertion.to_sva())
+        twice = parse_assertion(once.to_sva())
+        assert _equivalent(once, twice)
+        assert once.to_sva() == twice.to_sva()
+
+    @given(assertion=assertions())
+    @settings(max_examples=100, deadline=None)
+    def test_temporal_depth_is_preserved(self, assertion):
+        reparsed = parse_assertion(assertion.to_sva(include_assert=True))
+        assert reparsed.temporal_depth == assertion.temporal_depth
+        assert reparsed.antecedent_depth == assertion.antecedent_depth
+
+    @given(assertion=assertions())
+    @settings(max_examples=60, deadline=None)
+    def test_label_survives_assert_wrapper(self, assertion):
+        reparsed = parse_assertion(assertion.to_sva(include_assert=True))
+        assert reparsed.name == assertion.name

@@ -1,0 +1,115 @@
+"""Tests for the ``python -m repro`` campaign CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.core import RunStore
+
+
+@pytest.fixture()
+def smoke_run(tmp_path, capsys):
+    run_dir = tmp_path / "smoke"
+    code = main(["run", "--smoke", "--run-dir", str(run_dir)])
+    out = capsys.readouterr().out
+    assert code == 0
+    return run_dir, out
+
+
+class TestRun:
+    def test_smoke_run_completes_and_persists(self, smoke_run):
+        run_dir, out = smoke_run
+        assert "Accuracy matrix" in out
+        assert "verdict cache" in out
+        store = RunStore(run_dir)
+        manifest = store.read_manifest()
+        assert manifest["status"] == "complete"
+        assert store.completed_cells()
+        assert len(store.verdict_cache()) > 0
+
+    def test_rerun_resumes_idempotently(self, smoke_run, capsys):
+        run_dir, _ = smoke_run
+        before = RunStore(run_dir).completed_cells()
+        assert main(["run", "--smoke", "--run-dir", str(run_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "Resuming" in out
+        assert RunStore(run_dir).completed_cells().keys() == before.keys()
+
+    def test_changed_config_is_rejected(self, smoke_run, capsys):
+        run_dir, _ = smoke_run
+        code = main(["run", "--run-dir", str(run_dir), "--corpus",
+                     "assertionbench-smoke", "--k", "5"])
+        assert code == 3
+        assert "use a fresh --run-dir" in capsys.readouterr().err
+
+    def test_unknown_corpus_and_model_are_reported(self, tmp_path, capsys):
+        assert main(["run", "--run-dir", str(tmp_path / "x"), "--corpus", "nope"]) == 2
+        assert "no corpus named" in capsys.readouterr().err
+        assert main(["run", "--run-dir", str(tmp_path / "y"), "--corpus",
+                     "assertionbench-smoke", "--models", "NotAModel"]) == 2
+        assert "unknown model" in capsys.readouterr().err
+
+
+class TestResume:
+    def test_resume_reconstructs_campaign_from_manifest(self, smoke_run, capsys):
+        run_dir, _ = smoke_run
+        assert main(["resume", "--run-dir", str(run_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "Resuming" in out
+        assert "already committed" in out
+
+    def test_resume_without_manifest_fails(self, tmp_path, capsys):
+        assert main(["resume", "--run-dir", str(tmp_path / "empty")]) == 3
+        assert "no manifest" in capsys.readouterr().err
+
+    def test_resume_matches_uninterrupted_report(self, smoke_run, capsys):
+        run_dir, first_out = smoke_run
+        main(["resume", "--run-dir", str(run_dir)])
+        resumed_out = capsys.readouterr().out
+        first_table = first_out[first_out.index("Accuracy matrix"):].splitlines()[:6]
+        resumed_table = resumed_out[resumed_out.index("Accuracy matrix"):].splitlines()[:6]
+        assert first_table == resumed_table
+
+
+class TestReport:
+    def test_report_renders_committed_matrix(self, smoke_run, capsys):
+        run_dir, _ = smoke_run
+        assert main(["report", "--run-dir", str(run_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "status=complete" in out
+        assert "Accuracy matrix" in out
+        assert "Comparison of generated-assertion accuracy" in out
+
+    def test_report_without_manifest_fails(self, tmp_path, capsys):
+        assert main(["report", "--run-dir", str(tmp_path / "none")]) == 2
+        assert "no manifest" in capsys.readouterr().err
+
+
+class TestListCorpora:
+    def test_lists_registered_corpora(self, capsys):
+        assert main(["list-corpora"]) == 0
+        out = capsys.readouterr().out
+        assert "assertionbench" in out
+        assert "assertionbench-smoke" in out
+        assert "100 test" in out
+
+
+class TestShardedRuns:
+    def test_shards_cover_the_corpus_without_overlap(self, tmp_path, capsys):
+        matrices = []
+        for index in range(2):
+            run_dir = tmp_path / f"shard{index}"
+            code = main([
+                "run", "--run-dir", str(run_dir),
+                "--corpus", "assertionbench-smoke",
+                "--shard", f"{index}/2", "--k", "1", "--models", "GPT-4o",
+            ])
+            assert code == 0
+            matrices.append(RunStore(run_dir).load_matrix())
+            capsys.readouterr()
+        designs0 = {d.design_name for d in matrices[0].get("GPT-4o", 1).designs}
+        designs1 = {d.design_name for d in matrices[1].get("GPT-4o", 1).designs}
+        assert designs0 and designs1
+        assert not (designs0 & designs1)
+        assert len(designs0 | designs1) == 6
