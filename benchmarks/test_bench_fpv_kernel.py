@@ -1,0 +1,132 @@
+"""FPV kernel benchmark: the vectorized backend vs the compiled backend.
+
+One engine per design, one worker, one batched ``check_batch`` per design —
+the same full-corpus sweep on both backends, so the measured ratio isolates
+the array-oriented kernel (vectorized BFS, truth-matrix obligation sweep,
+batched falsification traces) from scheduling effects.  A second pass
+measures the warm-rerun effect of the persistent reachability cache.
+
+Results are written to ``BENCH_fpv_kernel.json`` (CI uploads it as an
+artifact).  ``REPRO_SMOKE=1`` shrinks the workload to the explicit-state
+corpus subset and gates on parity (>= 1.0x): a smoke regression below parity
+means the vectorized path stopped paying for itself and fails the job.  The
+full run gates on >= 5x.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from repro.bench.corpus import get_corpus
+from repro.fpv import EngineConfig, FormalEngine, ReachabilityCache
+from repro.hdl.design import Design
+from repro.sim import COMPILED, VECTORIZED
+
+_SMOKE = os.environ.get("REPRO_SMOKE", "0") == "1"
+
+_CORPUS = "assertionbench-fpv-kernel" if _SMOKE else "assertionbench"
+_PER_DESIGN = 4 if _SMOKE else 6
+#: Smoke gates on parity (a regression below 1.0x fails CI); the full sweep
+#: must hold the 5x target of the vectorized-kernel work.
+_MIN_SPEEDUP = 1.0 if _SMOKE else 5.0
+
+_ENGINE_KWARGS = dict(
+    fallback_cycles=128 if _SMOKE else 256,
+    fallback_seeds=2,
+)
+
+_REPORT_PATH = Path(__file__).resolve().parent.parent / "BENCH_fpv_kernel.json"
+
+
+def _assertions(design: Design, count: int) -> List[str]:
+    """Distinct, well-formed assertions exercising depth-0..2 obligations."""
+    model = design.model
+    out = (model.outputs or list(model.signals))[0]
+    mask = model.signals[out].mask
+    inputs = model.non_clock_inputs
+    texts = []
+    for j in range(count):
+        bound = max(0, mask - (j % max(mask, 1)))
+        if not inputs:
+            texts.append(f"({out} <= {bound});")
+            continue
+        inp = inputs[j % len(inputs)]
+        if j % 3 == 0:
+            texts.append(f"({inp} >= 0) |-> ({out} <= {bound});")
+        elif j % 3 == 1:
+            texts.append(f"({inp} == 0) |=> ({out} <= {bound});")
+        else:
+            texts.append(f"({inp} == 0) ##1 ({inp} == 0) |=> ({out} <= {bound});")
+    return texts
+
+
+def _sweep(
+    jobs: List[Tuple[Design, List[str]]],
+    backend: str,
+    reachability_cache: ReachabilityCache = None,
+) -> Tuple[List[List], float]:
+    start = time.perf_counter()
+    results = []
+    for design, texts in jobs:
+        engine = FormalEngine(
+            design,
+            EngineConfig(backend=backend, **_ENGINE_KWARGS),
+            reachability_cache=reachability_cache,
+        )
+        results.append(engine.check_batch(texts))
+    return results, time.perf_counter() - start
+
+
+def test_fpv_kernel_speedup():
+    corpus = get_corpus(_CORPUS)
+    jobs = [
+        (design, _assertions(design, _PER_DESIGN)) for design in corpus.all_designs()
+    ]
+    total = sum(len(texts) for _, texts in jobs)
+
+    compiled, compiled_s = _sweep(jobs, COMPILED)
+    vectorized, vectorized_s = _sweep(jobs, VECTORIZED)
+
+    # The speedup must not come from changed semantics.
+    for (design, _), base_batch, fast_batch in zip(jobs, compiled, vectorized):
+        assert [r.status for r in base_batch] == [r.status for r in fast_batch], design.name
+        assert [r.complete for r in base_batch] == [r.complete for r in fast_batch], design.name
+        assert [r.engine for r in base_batch] == [r.engine for r in fast_batch], design.name
+
+    # Warm rerun: a shared reachability cache removes every BFS on pass two.
+    cache = ReachabilityCache()
+    _sweep(jobs, VECTORIZED, reachability_cache=cache)
+    _, warm_s = _sweep(jobs, VECTORIZED, reachability_cache=cache)
+
+    speedup = compiled_s / vectorized_s if vectorized_s else float("inf")
+    warm_speedup = vectorized_s / warm_s if warm_s else float("inf")
+    report: Dict = {
+        "benchmark": "fpv_kernel",
+        "corpus": _CORPUS,
+        "designs": len(jobs),
+        "assertions": total,
+        "workers": 1,
+        "smoke": _SMOKE,
+        "compiled_s": round(compiled_s, 3),
+        "vectorized_s": round(vectorized_s, 3),
+        "speedup": round(speedup, 2),
+        "vectorized_warm_s": round(warm_s, 3),
+        "warm_reachability_speedup": round(warm_speedup, 2),
+        "reachability_cache": cache.stats(),
+    }
+    _REPORT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    print(
+        f"\nfpv kernel speedup: {speedup:.2f}x "
+        f"({compiled_s:.2f}s compiled → {vectorized_s:.2f}s vectorized, "
+        f"{len(jobs)} designs × {_PER_DESIGN} assertions, 1 worker); "
+        f"warm reachability rerun {warm_speedup:.2f}x"
+    )
+
+    assert speedup >= _MIN_SPEEDUP, (
+        f"expected ≥{_MIN_SPEEDUP}x speedup, measured {speedup:.2f}x "
+        f"(compiled {compiled_s:.2f}s, vectorized {vectorized_s:.2f}s)"
+    )

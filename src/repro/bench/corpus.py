@@ -438,6 +438,51 @@ register_corpus(
     "State machines, arbiters, and control blocks only",
 )
 
+#: Designs whose reachable state × input space the FPV engine sweeps
+#: explicitly under its default caps — the workload of the vectorized-kernel
+#: benchmark (``benchmarks/test_bench_fpv_kernel.py``).  Sequential designs
+#: with enumerable inputs and small state vectors; the heavy sweeps
+#: (``watchdog4``, ``pwm4``, ``eth_clockgen``, ``MAC_tx_Ctrl``) dominate.
+_FPV_KERNEL_NAMES = [
+    "arb2",
+    "t_flip_flop",
+    "d_flip_flop",
+    "counter",
+    "updown_counter4",
+    "mod10_counter",
+    "mod6_counter",
+    "gray_counter4",
+    "gray_counter6",
+    "pwm4",
+    "watchdog4",
+    "debouncer3",
+    "eth_clockgen",
+    "seq_detect_1011",
+    "seq_detect_110",
+    "seq_detect_10110",
+    "traffic_light",
+    "vending_machine",
+    "handshake_ctrl",
+    "mem_ctrl_fsm",
+    "elevator4",
+    "flow_ctrl",
+    "MAC_tx_Ctrl",
+    "rr_arbiter4",
+    "phasecomparator",
+]
+
+
+def _fpv_kernel_specs() -> List[CorpusSpec]:
+    keep = set(_FPV_KERNEL_NAMES)
+    return [spec for spec in TRAINING_SPECS + TEST_SPECS if spec.name in keep]
+
+
+register_corpus(
+    "assertionbench-fpv-kernel",
+    lambda: AssertionBenchCorpus(_fpv_kernel_specs()),
+    "Explicit-state sweep designs driving the FPV kernel benchmark",
+)
+
 
 def load_corpus() -> AssertionBenchCorpus:
     """Load the full AssertionBench corpus (5 training + 100 test designs)."""

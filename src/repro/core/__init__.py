@@ -29,6 +29,7 @@ from .scheduler import (
     default_workers,
 )
 from .store import (
+    PersistentReachabilityCache,
     PersistentVerdictCache,
     ResumeMismatchError,
     RunStore,
@@ -66,6 +67,7 @@ __all__ = [
     "ModelKshotResult",
     "ObservationCheck",
     "PASS",
+    "PersistentReachabilityCache",
     "PersistentVerdictCache",
     "PipelineConfig",
     "ResumeMismatchError",

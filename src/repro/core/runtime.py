@@ -150,21 +150,29 @@ class CampaignRuntime:
         self._owns_service = service is None
         if service is None:
             cache = store.verdict_cache() if store is not None else None
+            reachability = store.reachability_cache() if store is not None else None
             service = VerificationService(
                 SchedulerConfig(
                     engine=self._config.engine, workers=self._config.workers
                 ),
                 cache=cache,
+                reachability_cache=reachability,
             )
-        elif store is not None and service.cache is not store.verdict_cache():
-            # Silently accepting this pair would break the durability
-            # contract: verdicts would never reach the store's persistent
-            # cache, so an interrupted cell would re-prove everything.
-            raise ValueError(
-                "explicit service must be fronted by the store's verdict "
-                "cache: construct it with "
-                "VerificationService(..., cache=store.verdict_cache())"
-            )
+        elif store is not None:
+            if service.cache is not store.verdict_cache():
+                # Silently accepting this pair would break the durability
+                # contract: verdicts would never reach the store's persistent
+                # cache, so an interrupted cell would re-prove everything.
+                raise ValueError(
+                    "explicit service must be fronted by the store's verdict "
+                    "cache: construct it with "
+                    "VerificationService(..., cache=store.verdict_cache())"
+                )
+            if service.reachability_cache is not store.reachability_cache():
+                # Reachability is a semantics-neutral cache, so a mismatch is
+                # repaired rather than rejected: adopt the store's persistent
+                # one so warm reruns still skip the BFS.
+                service.use_reachability_cache(store.reachability_cache())
         self._service = service
 
     # -- lifecycle ---------------------------------------------------------------

@@ -29,9 +29,15 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-from ..fpv.engine import EngineConfig, FormalEngine
-from ..fpv.result import ProofResult
+from ..fpv.engine import (
+    EngineConfig,
+    FormalEngine,
+    ReachabilityCache,
+    reachability_key,
+)
+from ..fpv.transition import ReachabilityResult
 from ..hdl.design import Design
+from ..fpv.result import ProofResult
 from ..sva.model import Assertion
 
 AssertionLike = Union[str, Assertion]
@@ -133,10 +139,24 @@ def _engine_for(design: Design, config: EngineConfig) -> FormalEngine:
 
 
 def _check_design_batch(
-    design: Design, assertions: Sequence[AssertionLike], config: EngineConfig
-) -> List[ProofResult]:
-    """Check one design-level batch (runs in a worker process or inline)."""
-    return _engine_for(design, config).check_batch(assertions)
+    design: Design,
+    assertions: Sequence[AssertionLike],
+    config: EngineConfig,
+    reachability: Optional[ReachabilityResult] = None,
+) -> Tuple[List[ProofResult], Optional[ReachabilityResult]]:
+    """Check one design-level batch (runs in a worker process or inline).
+
+    ``reachability`` warm-starts the engine from a cached reachable-state
+    set; the second return slot carries back a freshly computed one (None
+    when it was preloaded or never needed), so the parent process can
+    persist it regardless of which worker explored the design.
+    """
+    engine = _engine_for(design, config)
+    if reachability is not None:
+        engine.preload_reachability(reachability)
+    results = engine.check_batch(assertions)
+    snapshot = None if reachability is not None else engine.reachability_snapshot()
+    return results, snapshot
 
 
 # -- the service ----------------------------------------------------------------
@@ -149,11 +169,19 @@ class VerificationService:
         self,
         config: Optional[SchedulerConfig] = None,
         cache: Optional[VerdictCache] = None,
+        reachability_cache: Optional[ReachabilityCache] = None,
     ):
         self._config = config or SchedulerConfig()
         # `cache or ...` would drop a supplied-but-empty cache: VerdictCache
         # defines __len__, so a fresh (persistent) cache is falsy.
         self._cache = cache if cache is not None else VerdictCache()
+        #: Reachable-state sets keyed by design fingerprint + engine caps.
+        #: Lives in the parent process: preloads ride along with dispatched
+        #: batches, freshly computed sets ride back with the results, so the
+        #: cache warms up regardless of worker count.
+        self._reachability_cache = (
+            reachability_cache if reachability_cache is not None else ReachabilityCache()
+        )
         self._pool: Optional[ProcessPoolExecutor] = None
         self._pool_lock = threading.Lock()
 
@@ -164,6 +192,20 @@ class VerificationService:
     @property
     def cache(self) -> VerdictCache:
         return self._cache
+
+    @property
+    def reachability_cache(self) -> ReachabilityCache:
+        return self._reachability_cache
+
+    def use_reachability_cache(self, cache: ReachabilityCache) -> None:
+        """Swap in a (typically persistent) reachability cache.
+
+        Safe at any point: the cache only affects where reachable-state sets
+        are remembered, never verdicts.  The campaign runtime calls this so
+        a caller-supplied service still persists reachability into the run
+        store.
+        """
+        self._reachability_cache = cache
 
     # -- lifecycle ---------------------------------------------------------------
 
@@ -262,23 +304,33 @@ class VerificationService:
         if not batches:
             return
         engine_config = self._config.engine
+        reach_keys = [
+            reachability_key(design, engine_config) for design, _, _ in batches
+        ]
+        preloads = [self._reachability_cache.get(key) for key in reach_keys]
         # Single-batch calls still go to the pool when workers are configured:
         # the streaming runtime submits one design per call from several
         # threads, and running those inline would serialise them on the GIL.
         if self.effective_workers() <= 1:
             outcomes = [
-                _check_design_batch(design, assertions, engine_config)
-                for design, assertions, _ in batches
+                _check_design_batch(design, assertions, engine_config, preload)
+                for (design, assertions, _), preload in zip(batches, preloads)
             ]
         else:
             pool = self._get_pool()
             futures = [
-                pool.submit(_check_design_batch, design, assertions, engine_config)
-                for design, assertions, _ in batches
+                pool.submit(
+                    _check_design_batch, design, assertions, engine_config, preload
+                )
+                for (design, assertions, _), preload in zip(batches, preloads)
             ]
             # Collect in submission order: deterministic result assembly.
             outcomes = [future.result() for future in futures]
-        for (design, _, keys), results in zip(batches, outcomes):
+        for (design, _, keys), reach_key, preload, (results, snapshot) in zip(
+            batches, reach_keys, preloads, outcomes
+        ):
+            if snapshot is not None and preload is None:
+                self._reachability_cache.put(reach_key, snapshot)
             design_pending = pending[_design_key(design)]
             for key, result in zip(keys, results):
                 design_pending[key] = result

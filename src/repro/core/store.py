@@ -40,7 +40,9 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from ..fpv.engine import ReachabilityCache, ReachabilityKey
 from ..fpv.result import Counterexample, ProofResult, ProofStatus
+from ..fpv.transition import ReachabilityResult
 from ..sva.errors import SvaError
 from ..sva.parser import parse_assertion
 from .metrics import AssertionOutcome, EvaluationMatrix, ModelKshotResult
@@ -49,6 +51,7 @@ from .scheduler import VerdictCache
 
 __all__ = [
     "CellKey",
+    "PersistentReachabilityCache",
     "PersistentVerdictCache",
     "ResumeMismatchError",
     "RunStore",
@@ -64,6 +67,7 @@ CellKey = Tuple[str, int, str]
 
 _MANIFEST_NAME = "manifest.json"
 _VERDICTS_NAME = "verdicts.jsonl"
+_REACHABILITY_NAME = "reachability.jsonl"
 _COMPLETED_NAME = "completed.jsonl"
 _OUTCOMES_DIR = "outcomes"
 
@@ -231,6 +235,94 @@ class PersistentVerdictCache(VerdictCache):
 
 
 # ---------------------------------------------------------------------------
+# Persistent reachability cache
+# ---------------------------------------------------------------------------
+
+
+class PersistentReachabilityCache(ReachabilityCache):
+    """A :class:`~repro.fpv.engine.ReachabilityCache` backed by JSONL.
+
+    One appended line per explored design, keyed by design source
+    fingerprint plus the engine caps that shaped the exploration
+    (:func:`repro.fpv.engine.reachability_key`).  A warm campaign rerun
+    replays the file and skips every reachability BFS whose design source
+    and caps are unchanged — including bounded (incomplete) explorations,
+    which are just as deterministic as complete ones.
+    """
+
+    def __init__(self, path: Path):
+        super().__init__()
+        self._path = Path(path)
+        self._io_lock = threading.Lock()
+        self._handle = None
+        self._loaded_entries = 0
+        self._load()
+
+    @property
+    def path(self) -> Path:
+        return self._path
+
+    @property
+    def loaded_entries(self) -> int:
+        """How many reachability results were replayed from disk on open."""
+        return self._loaded_entries
+
+    def _load(self) -> None:
+        if not self._path.exists():
+            return
+        for record in _read_jsonl(self._path):
+            try:
+                key: ReachabilityKey = (
+                    record["design"],
+                    int(record["max_states"]),
+                    int(record["max_transitions"]),
+                    int(record["max_input_bits"]),
+                )
+                result = ReachabilityResult(
+                    states=[tuple(int(v) for v in state) for state in record["states"]],
+                    complete=bool(record["complete"]),
+                    frontier_exhausted=bool(record["frontier_exhausted"]),
+                    transitions_explored=int(record["transitions"]),
+                )
+            except (KeyError, TypeError, ValueError):
+                continue  # torn or legacy record; recomputing is always safe
+            self._results[key] = result
+        self._loaded_entries = len(self._results)
+
+    def put(self, key: ReachabilityKey, result: ReachabilityResult) -> None:
+        fingerprint, max_states, max_transitions, max_input_bits = key
+        line = json.dumps(
+            {
+                "design": fingerprint,
+                "max_states": max_states,
+                "max_transitions": max_transitions,
+                "max_input_bits": max_input_bits,
+                "complete": result.complete,
+                "frontier_exhausted": result.frontier_exhausted,
+                "transitions": result.transitions_explored,
+                "states": [list(state) for state in result.states],
+            }
+        )
+        with self._io_lock:
+            if self._handle is None:
+                self._path.parent.mkdir(parents=True, exist_ok=True)
+                prefix = "\n" if _missing_trailing_newline(self._path) else ""
+                self._handle = self._path.open("a", encoding="utf-8")
+                if prefix:
+                    self._handle.write(prefix)
+            self._handle.write(line + "\n")
+            self._handle.flush()
+        super().put(key, result)
+
+    def close(self) -> None:
+        """Close the append handle (reopened automatically on the next put)."""
+        with self._io_lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+
+# ---------------------------------------------------------------------------
 # The run store
 # ---------------------------------------------------------------------------
 
@@ -300,6 +392,7 @@ class RunStore:
         (self.root / _OUTCOMES_DIR).mkdir(exist_ok=True)
         self._append_lock = threading.Lock()
         self._cache: Optional[PersistentVerdictCache] = None
+        self._reachability: Optional[PersistentReachabilityCache] = None
         #: Open append handles per file, so per-cell commits don't pay two
         #: opens each; every append still flushes before returning.
         self._handles: Dict[Path, object] = {}
@@ -321,6 +414,8 @@ class RunStore:
             self._handles.clear()
         if self._cache is not None:
             self._cache.close()
+        if self._reachability is not None:
+            self._reachability.close()
 
     def _append_lines(self, path: Path, lines: List[str]) -> None:
         """Append pre-serialized lines and flush; caller holds no lock."""
@@ -401,6 +496,18 @@ class RunStore:
         if self._cache is None:
             self._cache = PersistentVerdictCache(self.root / _VERDICTS_NAME)
         return self._cache
+
+    def reachability_cache(self) -> PersistentReachabilityCache:
+        """The run's persistent reachability cache (one instance per store).
+
+        Keyed by design fingerprint + engine caps, so warm reruns of a
+        campaign skip the reachable-state BFS for every unchanged design.
+        """
+        if self._reachability is None:
+            self._reachability = PersistentReachabilityCache(
+                self.root / _REACHABILITY_NAME
+            )
+        return self._reachability
 
     # -- outcome shards and the commit log ---------------------------------------
 

@@ -1,6 +1,13 @@
 """Formal property verification: transition systems, proof engine, verdicts."""
 
-from .engine import EngineConfig, FormalEngine, check_assertion
+from .engine import (
+    EngineConfig,
+    FormalEngine,
+    ReachabilityCache,
+    check_assertion,
+    design_fingerprint,
+    reachability_key,
+)
 from .result import Counterexample, ProofResult, ProofStatus, error_result
 from .trace_check import TraceChecker, TraceCheckResult, check_on_trace
 from .transition import (
@@ -16,6 +23,7 @@ __all__ = [
     "FormalEngine",
     "ProofResult",
     "ProofStatus",
+    "ReachabilityCache",
     "ReachabilityResult",
     "TraceCheckResult",
     "TraceChecker",
@@ -23,6 +31,8 @@ __all__ = [
     "TransitionSystem",
     "check_assertion",
     "check_on_trace",
+    "design_fingerprint",
     "enumerate_reachable",
     "error_result",
+    "reachability_key",
 ]

@@ -26,16 +26,33 @@ together, so one :meth:`~repro.fpv.transition.TransitionSystem.step` per
 evaluation budgets and verdict semantics are identical to checking each
 assertion alone; :meth:`check` and :meth:`check_all` are thin wrappers over a
 batch of one / the full batch.
+
+With the ``vectorized`` backend the sweep is *array-oriented*: the design is
+lowered to the NumPy kernel of :mod:`repro.sim.vector`, the whole reachable
+state × input grid is advanced in a handful of ``step_packed`` calls, every
+assertion proposition becomes a boolean truth matrix, and depth-0
+obligations are decided by pure array reductions.  Deeper obligations run
+the same path search as the scalar sweep but on table lookups.  Budgets,
+verdicts, and counterexample trigger cycles are identical to the scalar
+backends, which remain the reference oracles (any design or term the
+lowering rejects transparently falls back to the scalar sweep).
+
+Reachability results can be shared across engines and processes through a
+:class:`ReachabilityCache` keyed by design fingerprint + engine caps — warm
+campaign reruns then skip the BFS entirely (see
+:meth:`repro.core.store.RunStore.reachability_cache`).
 """
 
 from __future__ import annotations
 
+import hashlib
+import threading
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..hdl.design import Design
 from ..hdl.errors import HdlError
-from ..sim.compile import default_backend, make_evaluator
+from ..sim.compile import VECTORIZED, default_backend, make_evaluator
 from ..sim.eval import EvalError
 from ..sim.simulator import Simulator
 from ..sim.stimulus import RandomStimulus, ResetSequenceStimulus
@@ -63,9 +80,62 @@ class EngineConfig:
     fallback_cycles: int = 1500
     fallback_seeds: int = 3
     reset_cycles: int = 2
-    #: Evaluation backend: "compiled", "interpreted", or None for the
-    #: process-wide default (see :func:`repro.sim.compile.default_backend`).
+    #: Evaluation backend: "vectorized", "compiled", "interpreted", or None
+    #: for the process-wide default (see
+    #: :func:`repro.sim.compile.default_backend`).
     backend: Optional[str] = None
+
+
+def design_fingerprint(source: str) -> str:
+    """Stable content hash of design source text."""
+    return hashlib.sha256(source.encode()).hexdigest()[:16]
+
+
+#: Cache key for one design's reachability: source fingerprint plus every
+#: engine cap that shapes the exploration.  The evaluation backend is
+#: deliberately excluded — all backends produce identical reachable sets, so
+#: a warm cache serves every backend.
+ReachabilityKey = Tuple[str, int, int, int]
+
+
+def reachability_key(design: Design, config: EngineConfig) -> ReachabilityKey:
+    return (
+        design_fingerprint(design.source),
+        config.max_states,
+        config.max_transitions,
+        config.max_input_bits,
+    )
+
+
+class ReachabilityCache:
+    """Thread-safe in-memory cache of per-design reachability results."""
+
+    def __init__(self):
+        self._results: Dict[ReachabilityKey, ReachabilityResult] = {}
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: ReachabilityKey) -> Optional[ReachabilityResult]:
+        with self._lock:
+            result = self._results.get(key)
+            if result is not None:
+                self.hits += 1
+            else:
+                self.misses += 1
+        return result
+
+    def put(self, key: ReachabilityKey, result: ReachabilityResult) -> None:
+        with self._lock:
+            self._results[key] = result
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {"entries": len(self._results), "hits": self.hits, "misses": self.misses}
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._results)
 
 
 class _Pending:
@@ -84,13 +154,30 @@ class _Pending:
         self.completed = False
 
 
+class _PendingPairs:
+    """Vectorized-sweep pending failure: the path as (state, input) indices.
+
+    Environments are only materialised if the failure survives as a
+    counterexample.
+    """
+
+    __slots__ = ("term", "pairs", "completed")
+
+    def __init__(self, term: str, pairs: List[Tuple[int, int]]):
+        self.term = term
+        self.pairs = pairs
+        self.completed = False
+
+
 class _Obligation:
     """Per-assertion state carried through one batched exhaustive sweep.
 
     The antecedent/consequent/disable propositions are pre-lowered to truth
     kernels at batch start, so the sweep's inner loop is free of evaluator
     dispatch: ``antecedent[offset]`` is a tuple of callables, ``consequent``
-    pairs each callable with the term's source text for CEX reporting.
+    pairs each callable with the term's source text for CEX reporting.  The
+    raw expression trees are kept alongside for the vectorized sweep, which
+    lowers them to truth *matrices* instead.
     """
 
     __slots__ = (
@@ -99,6 +186,9 @@ class _Obligation:
         "antecedent",
         "consequent",
         "disable",
+        "antecedent_exprs",
+        "consequent_exprs",
+        "disable_expr",
         "depth",
         "budget_used",
         "budget_exhausted",
@@ -111,15 +201,24 @@ class _Obligation:
     def __init__(self, index: int, assertion: Assertion, term_fn):
         self.index = index
         self.assertion = assertion
-        self.antecedent = {
-            offset: tuple(term_fn(term.expr) for term in terms)
+        self.antecedent_exprs = {
+            offset: tuple(term.expr for term in terms)
             for offset, terms in _terms_by_offset(assertion.antecedent).items()
         }
-        self.consequent = {
-            offset: tuple((term_fn(term.expr), str(term.expr)) for term in terms)
+        self.consequent_exprs = {
+            offset: tuple((term.expr, str(term.expr)) for term in terms)
             for offset, terms in _terms_by_offset(
                 assertion.consequent_terms_absolute()
             ).items()
+        }
+        self.disable_expr = assertion.disable_iff
+        self.antecedent = {
+            offset: tuple(term_fn(expr) for expr in exprs)
+            for offset, exprs in self.antecedent_exprs.items()
+        }
+        self.consequent = {
+            offset: tuple((term_fn(expr), text) for expr, text in pairs)
+            for offset, pairs in self.consequent_exprs.items()
         }
         self.disable = (
             term_fn(assertion.disable_iff) if assertion.disable_iff is not None else None
@@ -131,6 +230,16 @@ class _Obligation:
         self.decided = False
         self.witness: Optional[Tuple[List[Dict[str, int]], str]] = None
         self.error: Optional[str] = None
+
+    def term_exprs(self):
+        """Every proposition the sweep must evaluate for this obligation."""
+        for exprs in self.antecedent_exprs.values():
+            yield from exprs
+        for pairs in self.consequent_exprs.values():
+            for expr, _ in pairs:
+                yield expr
+        if self.disable_expr is not None:
+            yield self.disable_expr
 
     def fail(self, message: str) -> None:
         self.error = message
@@ -144,7 +253,12 @@ class _Obligation:
 class FormalEngine:
     """Check batches of assertions against one design."""
 
-    def __init__(self, design: Design, config: Optional[EngineConfig] = None):
+    def __init__(
+        self,
+        design: Design,
+        config: Optional[EngineConfig] = None,
+        reachability_cache: Optional[ReachabilityCache] = None,
+    ):
         self._design = design
         self._config = config or EngineConfig()
         self._backend = self._config.backend or default_backend()
@@ -156,7 +270,10 @@ class FormalEngine:
         self._evaluator = make_evaluator(design.model, self._backend)
         self._checker = TraceChecker(design.model, backend=self._backend)
         self._reachability: Optional[ReachabilityResult] = None
+        self._reachability_cache = reachability_cache
         self._fallback_traces: Optional[List] = None
+        self._table = None
+        self._table_built = False
 
     @property
     def design(self) -> Design:
@@ -196,6 +313,8 @@ class FormalEngine:
         exhaustive: List[_Obligation] = []
         by_simulation: List[Tuple[int, Assertion]] = []
 
+        bound: List[Tuple[int, Assertion]] = []
+        observed: set = set()
         for index, item in enumerate(items):
             assertion, parse_error = self._to_assertion(item)
             if parse_error is not None:
@@ -207,6 +326,17 @@ class FormalEngine:
                     "; ".join(report.messages), self._design.name, assertion
                 )
                 continue
+            observed |= assertion.signals()
+            bound.append((index, assertion))
+
+        if bound:
+            # Project cached step environments onto what this batch reads
+            # *before* the first reachability walk: BFS and the scalar sweep
+            # then memoise a handful of values per transition instead of a
+            # full environment copy.
+            self._system.observe(observed)
+
+        for index, assertion in bound:
             try:
                 if self._can_check_exhaustively(assertion):
                     exhaustive.append(_Obligation(index, assertion, self._term_fn))
@@ -252,6 +382,12 @@ class FormalEngine:
 
     # -- strategy selection ------------------------------------------------------------
 
+    def can_check_exhaustively(self, assertion: Union[str, Assertion]) -> bool:
+        """True when ``assertion`` would be proved by explicit-state search."""
+        if isinstance(assertion, str):
+            assertion = parse_assertion(assertion)
+        return self._can_check_exhaustively(assertion)
+
     def _can_check_exhaustively(self, assertion: Assertion) -> bool:
         if not self._system.can_enumerate_inputs:
             return False
@@ -266,16 +402,47 @@ class FormalEngine:
         cost = reachability.count * (self._system.input_space_size ** min(depth, 2))
         return cost <= self._config.max_path_evaluations * 4
 
+    # -- reachability ---------------------------------------------------------------
+
+    def preload_reachability(self, result: ReachabilityResult) -> None:
+        """Adopt a previously-computed reachability result (cache warm-up)."""
+        if self._reachability is None:
+            self._reachability = result
+
+    def reachability_snapshot(self) -> Optional[ReachabilityResult]:
+        """The reachability result computed (or adopted) so far, if any."""
+        return self._reachability
+
     def _reachable(self) -> ReachabilityResult:
         if self._reachability is None:
+            key = None
+            if self._reachability_cache is not None:
+                key = reachability_key(self._design, self._config)
+                cached = self._reachability_cache.get(key)
+                if cached is not None:
+                    self._reachability = cached
+                    return cached
             self._reachability = enumerate_reachable(
                 self._system,
                 max_states=self._config.max_states,
                 max_transitions=self._config.max_transitions,
             )
+            if key is not None:
+                self._reachability_cache.put(key, self._reachability)
         return self._reachability
 
     # -- batched exhaustive explicit-state checking ------------------------------------
+
+    def _transition_table(self, reachability: ReachabilityResult):
+        """The dense (states × inputs) table, or None on the scalar backends."""
+        if not self._table_built:
+            self._table_built = True
+            kernel = self._system.vector_kernel()
+            if kernel is not None and reachability.complete:
+                from .table import TransitionTable
+
+                self._table = TransitionTable(self._system, kernel, reachability)
+        return self._table
 
     def _run_exhaustive_batch(
         self,
@@ -289,15 +456,34 @@ class FormalEngine:
         back to bounded simulation checking.
         """
         reachability = self._reachable()
-        for state in reachability.states:
-            carriers = [
-                (obligation, None)
+
+        scalar_obligations = obligations
+        table = self._transition_table(reachability)
+        if table is not None:
+            vectorized = [
+                obligation
                 for obligation in obligations
-                if not obligation.decided and not obligation.budget_exhausted
+                if all(table.can_lower(expr) for expr in obligation.term_exprs())
             ]
-            if not carriers:
-                break
-            self._sweep(state, 0, [], carriers)
+            if vectorized:
+                self._run_vectorized_obligations(vectorized, table)
+                chosen = set(map(id, vectorized))
+                scalar_obligations = [
+                    obligation
+                    for obligation in obligations
+                    if id(obligation) not in chosen
+                ]
+
+        if scalar_obligations:
+            for state in reachability.states:
+                carriers = [
+                    (obligation, None)
+                    for obligation in scalar_obligations
+                    if not obligation.decided and not obligation.budget_exhausted
+                ]
+                if not carriers:
+                    break
+                self._sweep(state, 0, [], carriers)
 
         fallback: List[Tuple[int, Assertion]] = []
         for obligation in obligations:
@@ -308,6 +494,212 @@ class FormalEngine:
                 obligation, reachability
             )
         return fallback
+
+    # -- the vectorized sweep ----------------------------------------------------------
+
+    def _run_vectorized_obligations(self, obligations: List[_Obligation], table) -> None:
+        """Decide obligations on the dense table (verdicts identical to scalar)."""
+        terms: List = []
+        for obligation in obligations:
+            terms.extend(obligation.term_exprs())
+        table.ensure_terms(terms)
+        for obligation in obligations:
+            if obligation.depth == 0:
+                self._vec_depth0(obligation, table)
+            else:
+                self._vec_deep(obligation, table)
+
+    def _witness_names(self):
+        observed = self._system.observed_signals
+        return observed if observed is not None else None
+
+    def _vec_depth0(self, obligation: _Obligation, table) -> None:
+        """Array-reduction fast path for single-cycle obligations.
+
+        Charging order is identical to the scalar sweep — states in
+        reachability order, the full input grid per state — so the budget
+        cutoff, the refuting (state, input) pair, and the exhaustion point
+        all match exactly.
+        """
+        import numpy as np
+
+        limit = self._config.max_path_evaluations
+        S, I = table.shape
+        eligible = np.ones(table.shape, dtype=bool)
+        if obligation.disable_expr is not None:
+            eligible &= ~table.truth(obligation.disable_expr)
+        for expr in obligation.antecedent_exprs.get(0, ()):
+            eligible &= table.truth(expr)
+        trig = eligible
+        cons_pairs = obligation.consequent_exprs.get(0, ())
+        viol = np.zeros(table.shape, dtype=bool)
+        for expr, _ in cons_pairs:
+            viol |= ~table.truth(expr)
+        viol &= eligible
+
+        total = S * I
+        if obligation.budget_used + total <= limit:
+            viol_any = viol.any(axis=1)
+            if viol_any.any():
+                s_star = int(np.argmax(viol_any))
+                obligation.budget_used += (s_star + 1) * I
+                i_star = int(np.argmax(viol[s_star]))
+                self._vec_refute_at(obligation, table, (s_star, i_star), cons_pairs)
+            else:
+                obligation.budget_used += total
+                obligation.triggered = bool(trig.any())
+            return
+
+        # Budget may run out mid-sweep: walk states, charging exactly as the
+        # scalar loop does.  Only inputs that fit the remaining budget are
+        # alive; a violation at an alive input refutes *before* any further
+        # input can trip exhaustion (the scalar sweep decides the obligation
+        # at the end of that input's iteration and stops charging), while a
+        # violation past the cutoff is never seen.
+        for s in range(S):
+            if obligation.decided or obligation.budget_exhausted:
+                break
+            remaining = limit - obligation.budget_used
+            alive = min(max(remaining, 0), I)
+            row_viol = viol[s, :alive]
+            if row_viol.any():
+                i_star = int(np.argmax(row_viol))
+                obligation.budget_used += i_star + 1
+                self._vec_refute_at(obligation, table, (s, i_star), cons_pairs)
+                break
+            obligation.budget_used += alive
+            if alive and trig[s, :alive].any():
+                obligation.triggered = True
+            if alive < I:
+                # The next input's charge pushes past the limit.
+                obligation.budget_used = limit + 1
+                obligation.budget_exhausted = True
+
+    def _vec_refute_at(
+        self, obligation: _Obligation, table, pair: Tuple[int, int], cons_pairs
+    ) -> None:
+        s, i = pair
+        failed = next(
+            text for expr, text in cons_pairs if not bool(table.truth(expr)[s, i])
+        )
+        cycles = table.env_rows([pair], self._witness_names())
+        obligation.refute((cycles, failed))
+
+    def _vec_deep(self, obligation: _Obligation, table) -> None:
+        """Table-driven path search for multi-cycle obligations.
+
+        Mirrors :meth:`_sweep` exactly (same input order, budget charges,
+        pending/completion protocol) with truth-matrix lookups in place of
+        expression evaluation and index pairs in place of environments.
+        """
+        antecedent = {
+            offset: tuple(table.truth_rows(expr) for expr in exprs)
+            for offset, exprs in obligation.antecedent_exprs.items()
+        }
+        consequent = {
+            offset: tuple((table.truth_rows(expr), text) for expr, text in pairs)
+            for offset, pairs in obligation.consequent_exprs.items()
+        }
+        disable = (
+            table.truth_rows(obligation.disable_expr)
+            if obligation.disable_expr is not None
+            else None
+        )
+        next_rows = table.next_rows()
+        num_inputs = table.num_inputs
+        limit = self._config.max_path_evaluations
+
+        for s_index in range(table.num_states):
+            if obligation.decided or obligation.budget_exhausted:
+                break
+            self._vec_sweep(
+                obligation,
+                s_index,
+                0,
+                [],
+                None,
+                antecedent,
+                consequent,
+                disable,
+                next_rows,
+                num_inputs,
+                limit,
+                table,
+            )
+
+    def _vec_sweep(
+        self,
+        obligation: _Obligation,
+        s_index: int,
+        offset: int,
+        path: List[Tuple[int, int]],
+        pending: Optional[_PendingPairs],
+        antecedent,
+        consequent,
+        disable,
+        next_rows,
+        num_inputs: int,
+        limit: int,
+        table,
+    ) -> None:
+        depth = obligation.depth
+        ant_here = antecedent.get(offset)
+        cons_here = consequent.get(offset)
+        next_row = next_rows[s_index]
+        for i in range(num_inputs):
+            if obligation.decided or obligation.budget_exhausted:
+                return
+            obligation.budget_used += 1
+            if obligation.budget_used > limit:
+                obligation.budget_exhausted = True
+                return
+            if offset == 0 and disable is not None and disable[s_index][i]:
+                continue
+            if ant_here is not None:
+                matched = True
+                for rows in ant_here:
+                    if not rows[s_index][i]:
+                        matched = False
+                        break
+                if not matched:
+                    continue
+            carried = pending
+            born: Optional[_PendingPairs] = None
+            if carried is None and cons_here is not None:
+                for rows, text in cons_here:
+                    if not rows[s_index][i]:
+                        carried = _PendingPairs(text, path + [(s_index, i)])
+                        born = carried
+                        break
+            if offset == depth:
+                obligation.triggered = True
+                if carried is not None:
+                    carried.completed = True
+            else:
+                self._vec_sweep(
+                    obligation,
+                    next_row[i],
+                    offset + 1,
+                    path + [(s_index, i)],
+                    carried,
+                    antecedent,
+                    consequent,
+                    disable,
+                    next_rows,
+                    num_inputs,
+                    limit,
+                    table,
+                )
+            if (
+                born is not None
+                and born.completed
+                and not obligation.decided
+                and not obligation.budget_exhausted
+            ):
+                cycles = table.env_rows(born.pairs, self._witness_names())
+                obligation.refute((cycles, born.term))
+
+    # -- the scalar sweep --------------------------------------------------------------
 
     def _sweep(
         self,
@@ -396,12 +788,21 @@ class FormalEngine:
             return error_result(obligation.error, self._design.name, assertion)
         if obligation.witness is not None:
             cycles, failed_term = obligation.witness
+            # Canonicalise witness cycles to this assertion's signals (plus
+            # state and inputs): identical whether the assertion was checked
+            # solo or in a batch, and identical across all three backends.
+            keep = set(assertion.signals())
+            keep.update(self._system.state_names)
+            keep.update(self._system.input_names)
             return ProofResult(
                 status=ProofStatus.CEX,
                 assertion=assertion,
                 design_name=self._design.name,
                 counterexample=Counterexample(
-                    cycles=[dict(cycle) for cycle in cycles],
+                    cycles=[
+                        {name: value for name, value in cycle.items() if name in keep}
+                        for cycle in cycles
+                    ],
                     trigger_cycle=0,
                     failed_term=failed_term,
                 ),
@@ -443,19 +844,48 @@ class FormalEngine:
 
         All assertions checked against this design share the same traces, so
         batch verification of a candidate set costs one simulation per seed
-        rather than one per assertion.
+        rather than one per assertion.  On the vectorized backend every
+        seed's trace is stepped as one lane of a single batch; the traces
+        are bit-for-bit identical to the per-seed scalar runs.
         """
         if self._fallback_traces is None:
-            traces = []
-            for seed in range(self._config.fallback_seeds):
-                simulator = Simulator(self._design, backend=self._backend)
-                stimulus = ResetSequenceStimulus(
+            stimuli = [
+                ResetSequenceStimulus(
                     RandomStimulus(seed=seed), reset_cycles=self._config.reset_cycles
                 )
-                traces.append(
-                    simulator.run(cycles=self._config.fallback_cycles, stimulus=stimulus)
+                for seed in range(self._config.fallback_seeds)
+            ]
+            kernel = self._system.vector_kernel()
+            use_batch = False
+            if kernel is not None and self._backend == VECTORIZED:
+                from ..sim.vector import comb_cycle_independent, simulate_batch
+
+                # Batched stepping wins when the lane count is meaningful:
+                # cycle-independent combinational designs settle the whole
+                # seeds × cycles grid at once, and wide seed counts amortise
+                # the kernel dispatch.  A 2-3 lane sequential batch would pay
+                # more per array op than the compiled scalar loop.
+                use_batch = (
+                    comb_cycle_independent(self._design.model)
+                    or self._config.fallback_seeds >= 8
                 )
-            self._fallback_traces = traces
+            if use_batch:
+                self._fallback_traces = simulate_batch(
+                    self._design.model,
+                    stimuli,
+                    self._config.fallback_cycles,
+                    kernel,
+                )
+            else:
+                traces = []
+                for stimulus in stimuli:
+                    simulator = Simulator(self._design, backend=self._backend)
+                    traces.append(
+                        simulator.run(
+                            cycles=self._config.fallback_cycles, stimulus=stimulus
+                        )
+                    )
+                self._fallback_traces = traces
         return self._fallback_traces
 
     def _check_by_simulation(self, assertion: Assertion) -> ProofResult:

@@ -1,0 +1,174 @@
+"""Dense transition table backing the vectorized obligation sweep.
+
+For an exhaustively-checkable design the reachable state set is closed under
+the step function, so the whole temporal search space of a batched FPV sweep
+is described by two dense tables over (reachable state × input valuation):
+
+* ``next_index[s, i]`` — the reachable-state index reached from state ``s``
+  under input ``i`` (one clock), and
+* one boolean truth matrix per distinct assertion proposition.
+
+Both are produced by a handful of chunked
+:meth:`~repro.sim.vector.VectorKernel.step_packed` calls; the engine's
+path-search recursion then runs on table lookups with no expression
+evaluation or environment construction in its inner loop.  Witness
+environments (counterexample cycles) are re-materialised on demand for the
+few (state, input) pairs on a refuting path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..hdl import ast
+from ..sim.vector import UnsupportedForVectorization, VectorKernel, _as_array
+from ..sim.eval import EvalError
+from .transition import ReachabilityResult, State, TransitionSystem
+
+#: Upper bound on (state chunk × input grid) lanes per kernel call.
+_CHUNK_LANES = 1 << 18
+
+
+class TransitionTable:
+    """Reachable-state × input-grid view of one design's transition system."""
+
+    def __init__(
+        self,
+        system: TransitionSystem,
+        kernel: VectorKernel,
+        reachability: ReachabilityResult,
+    ):
+        self._system = system
+        self._kernel = kernel
+        self.states: List[State] = list(reachability.states)
+        self.num_states = len(self.states)
+        grid = system.input_grid
+        self.num_inputs = len(grid)
+
+        state_bits = sum(kernel.state_widths)
+        self._packed_states = np.asarray(
+            [kernel.pack_state(state) for state in self.states], dtype=np.int64
+        )
+        self._packed_grid = kernel.pack_input_grid(grid)
+
+        # packed state value -> reachable index (dense for small spaces).
+        if state_bits <= 24:
+            lookup = np.full(1 << max(state_bits, 1), -1, dtype=np.int64)
+            lookup[self._packed_states] = np.arange(self.num_states, dtype=np.int64)
+            self._lookup: Optional[np.ndarray] = lookup
+            self._lookup_dict: Optional[Dict[int, int]] = None
+        else:
+            self._lookup = None
+            self._lookup_dict = {
+                int(packed): index
+                for index, packed in enumerate(self._packed_states.tolist())
+            }
+
+        self._next_index: Optional[np.ndarray] = None
+        self._next_rows: Optional[List[List[int]]] = None
+        self._truth: Dict[ast.Expr, np.ndarray] = {}
+        self._truth_rows: Dict[ast.Expr, List[List[bool]]] = {}
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return (self.num_states, self.num_inputs)
+
+    # -- term support -----------------------------------------------------------
+
+    def can_lower(self, expr: ast.Expr) -> bool:
+        """True when ``expr`` compiles to a vector kernel."""
+        try:
+            self._kernel.exprs.compile(expr)
+        except (UnsupportedForVectorization, EvalError):
+            return False
+        return True
+
+    # -- table construction -----------------------------------------------------
+
+    def ensure_terms(self, exprs: Iterable[ast.Expr]) -> None:
+        """Materialise truth matrices for any not-yet-computed terms.
+
+        One chunked sweep over (states × inputs) serves every missing term —
+        environments are built once per chunk and discarded.  The next-state
+        index table is filled on the first call.
+        """
+        missing = [expr for expr in dict.fromkeys(exprs) if expr not in self._truth]
+        need_next = self._next_index is None
+        if not missing and not need_next:
+            return
+        kernels = [(expr, self._kernel.exprs.compile(expr)) for expr in missing]
+        S, I = self.shape
+        for expr in missing:
+            self._truth[expr] = np.zeros((S, I), dtype=bool)
+        if need_next:
+            self._next_index = np.zeros((S, I), dtype=np.int64)
+
+        chunk_states = max(1, _CHUNK_LANES // max(I, 1))
+        for start in range(0, S, chunk_states):
+            stop = min(start + chunk_states, S)
+            count = stop - start
+            lanes = count * I
+            states_rep = np.repeat(self._packed_states[start:stop], I)
+            inputs_tiled = np.tile(self._packed_grid, count)
+            env, next_packed = self._kernel.step_packed(states_rep, inputs_tiled)
+            if need_next:
+                if self._lookup is not None:
+                    indices = self._lookup[next_packed]
+                else:
+                    lookup_dict = self._lookup_dict
+                    indices = np.fromiter(
+                        (lookup_dict.get(value, -1) for value in next_packed.tolist()),
+                        dtype=np.int64,
+                        count=lanes,
+                    )
+                self._next_index[start:stop] = indices.reshape(count, I)
+            for expr, kernel in kernels:
+                values = _as_array(kernel(env), lanes)
+                self._truth[expr][start:stop] = (values != 0).reshape(count, I)
+        if need_next and (self._next_index < 0).any():
+            # A complete reachable set is closed under step; a miss means the
+            # caller handed us a truncated reachability result.
+            raise ValueError("transition leaves the supplied reachable set")
+
+    def truth(self, expr: ast.Expr) -> np.ndarray:
+        """Boolean (states × inputs) truth matrix for a lowered term."""
+        return self._truth[expr]
+
+    def truth_rows(self, expr: ast.Expr) -> List[List[bool]]:
+        """`truth` as nested Python lists (fast scalar indexing in sweeps)."""
+        rows = self._truth_rows.get(expr)
+        if rows is None:
+            rows = self._truth[expr].tolist()
+            self._truth_rows[expr] = rows
+        return rows
+
+    def next_rows(self) -> List[List[int]]:
+        """Next-state indices as nested Python lists."""
+        if self._next_rows is None:
+            self._next_rows = self._next_index.tolist()
+        return self._next_rows
+
+    # -- witness materialisation ------------------------------------------------
+
+    def env_rows(
+        self,
+        pairs: Sequence[Tuple[int, int]],
+        names: Optional[Iterable[str]] = None,
+    ) -> List[Dict[str, int]]:
+        """Settled environments for specific (state index, input index) pairs.
+
+        Used to rebuild counterexample cycles; the batch is tiny (one lane
+        per path node).
+        """
+        lanes = len(pairs)
+        states = np.asarray(
+            [int(self._packed_states[s]) for s, _ in pairs], dtype=np.int64
+        )
+        inputs = np.asarray(
+            [int(self._packed_grid[i]) for _, i in pairs], dtype=np.int64
+        )
+        env, _ = self._kernel.step_packed(states, inputs)
+        keys = list(names) if names is not None else list(self._system.model.signals)
+        return [self._kernel.env_row(env, lane, keys) for lane in range(lanes)]

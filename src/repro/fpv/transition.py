@@ -5,6 +5,19 @@ the vector of register values and whose transitions are labelled by primary
 input valuations.  This module provides the state encoding, input-space
 enumeration, and the single-cycle image computation shared by reachability
 analysis and path checking.
+
+Two evaluation strategies coexist:
+
+* the scalar path (:meth:`TransitionSystem.step`) computes one settled
+  environment per (state, input) pair through the interpreted or compiled
+  backend, with a bounded memo cache;
+* the vectorized path (:meth:`TransitionSystem.vector_kernel`) lowers the
+  model to the NumPy structure-of-arrays kernel of :mod:`repro.sim.vector`
+  and advances the whole BFS frontier × input grid in one
+  ``step_packed`` call.  :func:`enumerate_reachable` uses it automatically
+  when the system was built with the ``vectorized`` backend, reproducing the
+  scalar exploration order exactly (same state order, same transition
+  counts, same truncation points).
 """
 
 from __future__ import annotations
@@ -15,15 +28,25 @@ from typing import Dict, Iterator, List, Optional, Tuple
 
 from ..hdl.design import Design
 from ..hdl.elaborate import RtlModel
-from ..sim.compile import CombSettle, make_evaluator, make_executor
+from ..sim.compile import VECTORIZED, CombSettle, default_backend, make_evaluator, make_executor
 
 State = Tuple[int, ...]
 InputVector = Tuple[int, ...]
 
+#: How many entries a full step cache drops at once.  Bounded FIFO eviction:
+#: a mid-BFS cap evicts the oldest eighth instead of dumping the entire
+#: working set the way the old wholesale ``clear()`` did.
+_EVICTION_FRACTION = 8
+
 
 @dataclass(frozen=True)
 class TransitionStep:
-    """One explored transition: the settled environment and the next state."""
+    """One explored transition: the settled environment and the next state.
+
+    When the owning system has an observation set (:meth:`TransitionSystem.
+    observe`), ``env`` is restricted to the observed signals; otherwise it is
+    the full settled environment.
+    """
 
     env: Dict[str, int]
     next_state: State
@@ -37,7 +60,8 @@ class TransitionSystem:
             self._model: RtlModel = design_or_model.model
         else:
             self._model = design_or_model
-        self._evaluator = make_evaluator(self._model, backend)
+        self._backend = backend or default_backend()
+        self._evaluator = make_evaluator(self._model, self._backend)
         self._executor = make_executor(self._model, self._evaluator)
         self._settler = CombSettle(self._model, self._evaluator, self._executor)
         self._state_names: List[str] = list(self._model.state_regs)
@@ -45,12 +69,22 @@ class TransitionSystem:
         self._max_input_bits = max_input_bits
         self._step_cache: Dict[Tuple[State, InputVector], TransitionStep] = {}
         self._step_cache_limit = 200_000
+        #: Signals kept in cached/returned step environments; None = all.
+        self._observed: Optional[frozenset] = None
+        self._input_grid: Optional[Tuple[InputVector, ...]] = None
+        self._input_dicts: Optional[List[Dict[str, int]]] = None
+        self._kernel = None
+        self._kernel_built = False
 
     # -- basic properties -------------------------------------------------------
 
     @property
     def model(self) -> RtlModel:
         return self._model
+
+    @property
+    def backend(self) -> str:
+        return self._backend
 
     @property
     def state_names(self) -> List[str]:
@@ -79,6 +113,26 @@ class TransitionSystem:
     def can_enumerate_inputs(self) -> bool:
         return self.input_bits <= self._max_input_bits
 
+    # -- the vectorized kernel --------------------------------------------------
+
+    def vector_kernel(self):
+        """The NumPy :class:`~repro.sim.vector.VectorKernel`, or ``None``.
+
+        Only systems built with the ``vectorized`` backend lower a kernel;
+        models the lowering rejects (or a missing NumPy) quietly fall back
+        to the scalar path.
+        """
+        if not self._kernel_built:
+            self._kernel_built = True
+            if self._backend == VECTORIZED:
+                try:
+                    from ..sim.vector import lower_model
+                except ImportError:  # pragma: no cover - numpy not installed
+                    lower_model = None
+                if lower_model is not None:
+                    self._kernel = lower_model(self._model)
+        return self._kernel
+
     # -- state encoding -----------------------------------------------------------
 
     def initial_state(self) -> State:
@@ -96,16 +150,49 @@ class TransitionSystem:
 
     # -- input enumeration -----------------------------------------------------------
 
+    @property
+    def input_grid(self) -> Tuple[InputVector, ...]:
+        """Every input valuation as a tuple, in enumeration order.
+
+        Computed once per system and shared by :meth:`enumerate_inputs`,
+        reachability analysis, and the vectorized kernel — the old code
+        regenerated the full grid of dicts for every visited state.
+        """
+        if self._input_grid is None:
+            if not self._input_names:
+                self._input_grid = ((),)
+            else:
+                ranges = [
+                    range(self._model.signals[name].max_value + 1)
+                    for name in self._input_names
+                ]
+                self._input_grid = tuple(itertools.product(*ranges))
+        return self._input_grid
+
+    def input_dicts(self) -> List[Dict[str, int]]:
+        """The input grid as shared name->value dicts (do not mutate)."""
+        if self._input_dicts is None:
+            names = self._input_names
+            self._input_dicts = [dict(zip(names, combo)) for combo in self.input_grid]
+        return self._input_dicts
+
     def enumerate_inputs(self) -> Iterator[Dict[str, int]]:
-        """Yield every input valuation (clock excluded)."""
-        if not self._input_names:
-            yield {}
+        """Yield every input valuation (clock excluded).
+
+        The yielded dicts are shared, precomputed instances; treat them as
+        read-only.  Systems whose input space is not enumerable fall back to
+        a lazy product so callers can still stream a prefix without
+        materialising the grid.
+        """
+        if not self.can_enumerate_inputs:
+            names = self._input_names
+            ranges = [
+                range(self._model.signals[name].max_value + 1) for name in names
+            ]
+            for combo in itertools.product(*ranges):
+                yield dict(zip(names, combo))
             return
-        ranges = [
-            range(self._model.signals[name].max_value + 1) for name in self._input_names
-        ]
-        for combo in itertools.product(*ranges):
-            yield dict(zip(self._input_names, combo))
+        yield from self.input_dicts()
 
     def sample_inputs(self, rng, count: int) -> Iterator[Dict[str, int]]:
         """Yield ``count`` random input valuations."""
@@ -114,6 +201,31 @@ class TransitionSystem:
                 name: rng.randint(0, self._model.signals[name].max_value)
                 for name in self._input_names
             }
+
+    # -- observation (step-cache projection) ------------------------------------
+
+    def observe(self, names) -> None:
+        """Restrict cached step environments to ``names`` (plus state/inputs).
+
+        The FPV engine calls this with the union of signals its current
+        assertion batch references, so the memo cache stores a handful of
+        values per transition instead of a full environment copy.  Widening
+        the observation set invalidates existing (narrower) entries.
+        """
+        wanted = (frozenset(names) & frozenset(self._model.signals)) | frozenset(
+            self._state_names
+        ) | frozenset(self._input_names)
+        if self._observed is not None and wanted <= self._observed:
+            return
+        if self._observed is None:
+            self._observed = wanted
+        else:
+            self._observed = self._observed | wanted
+        self._step_cache.clear()
+
+    @property
+    def observed_signals(self) -> Optional[frozenset]:
+        return self._observed
 
     # -- image computation ----------------------------------------------------------
 
@@ -134,16 +246,37 @@ class TransitionSystem:
 
         Results are memoised on (state, input vector): the FPV engine revisits
         the same transitions many times while checking a batch of assertions.
+        Cached environments are projected to the observed signal set (see
+        :meth:`observe`), and a full cache evicts its oldest entries instead
+        of dropping the whole working set.
         """
         key = (state, tuple(inputs.get(name, 0) for name in self._input_names))
         cached = self._step_cache.get(key)
         if cached is not None:
             return TransitionStep(env=dict(cached.env), next_state=cached.next_state)
         step = self._compute_step(state, inputs)
+        env = step.env
+        if self._observed is not None:
+            env = {name: env[name] for name in self._observed if name in env}
+            step = TransitionStep(env=env, next_state=step.next_state)
         if len(self._step_cache) >= self._step_cache_limit:
-            self._step_cache.clear()
-        self._step_cache[key] = TransitionStep(env=dict(step.env), next_state=step.next_state)
+            evict = max(1, self._step_cache_limit // _EVICTION_FRACTION)
+            for old_key in list(itertools.islice(self._step_cache, evict)):
+                del self._step_cache[old_key]
+        self._step_cache[key] = TransitionStep(env=dict(env), next_state=step.next_state)
         return step
+
+    def step_cache_info(self) -> Dict[str, int]:
+        """Size/limit snapshot of the memo cache (for tests and diagnostics)."""
+        return {
+            "entries": len(self._step_cache),
+            "limit": self._step_cache_limit,
+            "env_signals": (
+                len(self._observed)
+                if self._observed is not None
+                else len(self._model.signals)
+            ),
+        }
 
     def _compute_step(self, state: State, inputs: Dict[str, int]) -> TransitionStep:
         env = self.settle(state, inputs)
@@ -187,7 +320,10 @@ def enumerate_reachable(
 
     Exploration is exact (every input valuation) when the input space is small
     enough to enumerate; otherwise the result is marked incomplete and the
-    caller should fall back to simulation-based checking.
+    caller should fall back to simulation-based checking.  Systems with a
+    vectorized kernel run the BFS as batched array ops; the discovery order,
+    transition counts, and truncation points are identical to the scalar
+    walk.
     """
     if not system.can_enumerate_inputs:
         return ReachabilityResult(
@@ -197,17 +333,24 @@ def enumerate_reachable(
             transitions_explored=0,
         )
 
+    kernel = system.vector_kernel()
+    if kernel is not None:
+        return _enumerate_reachable_vectorized(
+            system, kernel, max_states, max_transitions
+        )
+
     initial = system.initial_state()
     visited = {initial}
     order: List[State] = [initial]
     frontier: List[State] = [initial]
     transitions = 0
     complete = True
+    input_dicts = system.input_dicts()
 
     while frontier:
         next_frontier: List[State] = []
         for state in frontier:
-            for inputs in system.enumerate_inputs():
+            for inputs in input_dicts:
                 transitions += 1
                 if transitions > max_transitions:
                     return ReachabilityResult(order, False, False, transitions)
@@ -221,3 +364,125 @@ def enumerate_reachable(
         frontier = next_frontier
 
     return ReachabilityResult(order, complete, True, transitions)
+
+
+#: Upper bound on (frontier chunk × input grid) lanes per kernel call, so the
+#: transient columnar environments stay within a few tens of megabytes.
+_BFS_CHUNK_LANES = 1 << 18
+#: Below this many lanes a kernel call's per-op dispatch overhead exceeds the
+#: scalar step cost; chain-like state spaces (LFSRs, counters) whose frontier
+#: is one or two states run those slices through the memoised scalar step.
+_BFS_MIN_VECTOR_LANES = 64
+
+
+def _enumerate_reachable_vectorized(
+    system: TransitionSystem,
+    kernel,
+    max_states: int,
+    max_transitions: int,
+) -> ReachabilityResult:
+    """Array-oriented BFS, order-identical to the scalar walk."""
+    import numpy as np
+
+    pack_state = kernel.pack_state
+    unpack_state = kernel.unpack_state
+    state_bits = sum(kernel.state_widths)
+    grid = system.input_grid
+    num_inputs = len(grid)
+    packed_grid = kernel.pack_input_grid(grid)
+
+    initial = pack_state(system.initial_state())
+    dense = state_bits <= 24
+    if dense:
+        visited_arr = np.zeros(1 << state_bits, dtype=bool)
+        visited_arr[initial] = True
+    else:
+        visited_set = {initial}
+    order: List[int] = [initial]
+    frontier: List[int] = [initial]
+    transitions = 0
+    chunk_states = max(1, _BFS_CHUNK_LANES // max(num_inputs, 1))
+
+    def result(packed_order: List[int], complete: bool, exhausted: bool, count: int):
+        return ReachabilityResult(
+            states=[unpack_state(p) for p in packed_order],
+            complete=complete,
+            frontier_exhausted=exhausted,
+            transitions_explored=count,
+        )
+
+    input_dicts = system.input_dicts()
+
+    def seen(packed: int) -> bool:
+        return bool(visited_arr[packed]) if dense else packed in visited_set
+
+    def mark(packed: int) -> None:
+        if dense:
+            visited_arr[packed] = True
+        else:
+            visited_set.add(packed)
+
+    while frontier:
+        next_frontier: List[int] = []
+        for start in range(0, len(frontier), chunk_states):
+            chunk = frontier[start : start + chunk_states]
+            lanes = len(chunk) * num_inputs
+
+            if lanes < _BFS_MIN_VECTOR_LANES:
+                # Tiny frontier: per-op kernel dispatch would cost more than
+                # the memoised scalar step.  Same walk, same order.
+                for packed_state in chunk:
+                    state = unpack_state(packed_state)
+                    for inputs in input_dicts:
+                        transitions += 1
+                        if transitions > max_transitions:
+                            return result(order, False, False, transitions)
+                        next_state = system.step(state, inputs).next_state
+                        packed_next = pack_state(next_state)
+                        if not seen(packed_next):
+                            mark(packed_next)
+                            order.append(packed_next)
+                            next_frontier.append(packed_next)
+                            if len(order) >= max_states:
+                                return result(order, False, False, transitions)
+                continue
+
+            states_rep = np.repeat(np.asarray(chunk, dtype=np.int64), num_inputs)
+            inputs_tiled = np.tile(packed_grid, len(chunk))
+            _, next_packed = kernel.step_packed(states_rep, inputs_tiled)
+
+            allowed = max_transitions - transitions
+            truncated = allowed < lanes
+            flat = next_packed[:allowed] if truncated else next_packed
+
+            if dense:
+                new_mask = ~visited_arr[flat]
+            else:
+                new_mask = np.fromiter(
+                    (value not in visited_set for value in flat.tolist()),
+                    dtype=bool,
+                    count=len(flat),
+                )
+            if new_mask.any():
+                positions = np.nonzero(new_mask)[0]
+                candidates = flat[positions]
+                _, first_index = np.unique(candidates, return_index=True)
+                for k in np.sort(first_index).tolist():
+                    value = int(candidates[k])
+                    if dense:
+                        visited_arr[value] = True
+                    else:
+                        visited_set.add(value)
+                    order.append(value)
+                    next_frontier.append(value)
+                    if len(order) >= max_states:
+                        # Same return point as the scalar walk: the pair that
+                        # discovered the capping state.
+                        exact = transitions + int(positions[k]) + 1
+                        return result(order, False, False, exact)
+            if truncated:
+                return result(order, False, False, max_transitions + 1)
+            transitions += lanes
+        frontier = next_frontier
+
+    return result(order, True, True, transitions)

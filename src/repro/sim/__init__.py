@@ -1,8 +1,10 @@
 """Cycle-accurate simulation: evaluation, stimulus, traces, VCD export."""
 
 from .compile import (
+    BACKENDS,
     COMPILED,
     INTERPRETED,
+    VECTORIZED,
     CompiledEvaluator,
     CompiledExecutor,
     default_backend,
@@ -19,12 +21,19 @@ from .stimulus import (
     Stimulus,
     WalkingOnesStimulus,
     default_stimulus,
+    stack_stimuli,
 )
 from .trace import Trace
 from .vcd import dump_vcd, write_vcd
 
+# The NumPy lowering lives in repro.sim.vector; it is imported lazily by the
+# transition system and the FPV engine so this package stays importable on
+# NumPy-free installs (the scalar backends never need it).
+
 __all__ = [
+    "BACKENDS",
     "COMPILED",
+    "VECTORIZED",
     "CombinationalLoopError",
     "CompiledEvaluator",
     "CompiledExecutor",
@@ -46,5 +55,6 @@ __all__ = [
     "default_stimulus",
     "dump_vcd",
     "simulate",
+    "stack_stimuli",
     "write_vcd",
 ]

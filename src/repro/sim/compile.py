@@ -46,6 +46,13 @@ StoreKernel = Callable[[int, Env, Env], None]
 #: Backend identifiers.
 INTERPRETED = "interpreted"
 COMPILED = "compiled"
+#: Array backend: batch-level paths (reachability BFS, the FPV obligation
+#: sweep, falsification trace generation) run on the NumPy lowering in
+#: :mod:`repro.sim.vector`; scalar call sites (``eval`` on one environment)
+#: fall back to compiled kernels, as does any design the lowering rejects.
+VECTORIZED = "vectorized"
+
+BACKENDS = (INTERPRETED, COMPILED, VECTORIZED)
 
 _BACKEND_ENV_VAR = "REPRO_EVAL_BACKEND"
 _SHIFT_CAP = 1 << 16
@@ -54,10 +61,10 @@ _SHIFT_CAP = 1 << 16
 def default_backend() -> str:
     """The process-wide default backend (``REPRO_EVAL_BACKEND``, else compiled)."""
     value = os.environ.get(_BACKEND_ENV_VAR, COMPILED).strip().lower()
-    if value not in (INTERPRETED, COMPILED):
+    if value not in BACKENDS:
+        expected = ", ".join(repr(name) for name in BACKENDS)
         raise ValueError(
-            f"unknown evaluation backend {value!r} "
-            f"(expected {INTERPRETED!r} or {COMPILED!r})"
+            f"unknown evaluation backend {value!r} (expected one of {expected})"
         )
     return value
 
@@ -512,11 +519,16 @@ class CombSettle:
 
 
 def make_evaluator(model: RtlModel, backend: Optional[str] = None):
-    """Build the expression evaluator for the requested backend."""
+    """Build the expression evaluator for the requested backend.
+
+    The vectorized backend has no scalar evaluator of its own — one-off
+    ``eval`` calls (assertion terms, trace checking) run on compiled kernels
+    while the batch-level sweeps use :mod:`repro.sim.vector` directly.
+    """
     backend = backend or default_backend()
     if backend == INTERPRETED:
         return ExprEvaluator(model)
-    if backend == COMPILED:
+    if backend in (COMPILED, VECTORIZED):
         return CompiledEvaluator(model)
     raise ValueError(f"unknown evaluation backend {backend!r}")
 
@@ -532,6 +544,6 @@ def make_executor(model: RtlModel, evaluator=None, backend: Optional[str] = None
     backend = backend or default_backend()
     if backend == INTERPRETED:
         return StatementExecutor(model)
-    if backend == COMPILED:
+    if backend in (COMPILED, VECTORIZED):
         return CompiledExecutor(model)
     raise ValueError(f"unknown evaluation backend {backend!r}")

@@ -75,11 +75,19 @@ class ExprEvaluator:
             return self._const_value(expr.count) * self.width_of(expr.value)
         raise EvalError(f"cannot infer width of {expr!r}")
 
-    def _const_value(self, expr: ast.Expr) -> int:
+    def const_value(self, expr: ast.Expr) -> int:
+        """Evaluate a constant expression over the parameter environment.
+
+        Shared by the compiled and vectorized lowerings, which resolve part
+        select bounds and replication counts once at compile time.
+        """
         try:
             return self._const.eval(expr)
         except ElaborationError as exc:
             raise EvalError(str(exc)) from exc
+
+    # Backwards-compatible alias (pre-vectorized-backend internal name).
+    _const_value = const_value
 
     # -- evaluation -----------------------------------------------------------
 

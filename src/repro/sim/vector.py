@@ -1,0 +1,994 @@
+"""Bit-packed, structure-of-arrays NumPy lowering of an elaborated RTL model.
+
+This is the third evaluation backend ("vectorized").  Where the compiled
+backend lowers each expression to a Python closure evaluated once per
+(state, input) pair, this module lowers the *whole model* to NumPy array
+kernels that advance an entire batch of environments at once:
+
+* signal environments are columnar — ``{signal name: int64 ndarray}`` with
+  one lane per (state, input) pair, random-simulation seed, or BFS frontier
+  member;
+* combinational settle and sequential clocking are masked array operations
+  (an ``if``/``case`` arm executes under a boolean lane mask instead of a
+  branch);
+* states are bit-packed into single int64 lanes for set operations
+  (reachability BFS, dedup, cache keys).
+
+Semantics are bit-for-bit identical to the interpreted and compiled scalar
+backends for every design the lowering accepts.  Designs the lowering cannot
+prove safe inside 63-bit signed integer arithmetic (very wide signals,
+multiplies past 31 bits, ``**``) raise :class:`UnsupportedForVectorization`
+at lowering time and transparently fall back to the compiled backend — the
+scalar backends remain the reference oracles.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..hdl import ast
+from ..hdl.elaborate import RtlModel
+from .eval import EvalError, ExprEvaluator
+from .simulator import CombinationalLoopError, _MAX_SETTLE_ITERATIONS
+from .trace import Trace
+
+#: Columnar environment: signal name -> int64 ndarray, one lane per element.
+Cols = Dict[str, np.ndarray]
+#: A vector expression kernel: columnar env in, int64 ndarray (or scalar) out.
+VecKernel = Callable[[Cols], Union[np.ndarray, int]]
+
+#: Every intermediate value must stay strictly below 2**63 (int64, one sign
+#: bit spare).  Scalar semantics give arithmetic one bit of carry headroom,
+#: so the practical per-signal width ceiling is 61 bits.
+_MAX_VALUE_BITS = 62
+
+
+class UnsupportedForVectorization(Exception):
+    """The model (or one expression) cannot be lowered to int64 array ops."""
+
+
+def _as_array(value: Union[np.ndarray, int], lanes: int) -> np.ndarray:
+    """Broadcast a kernel result (possibly a Python int) to a lane array."""
+    if isinstance(value, np.ndarray):
+        return value
+    return np.full(lanes, value, dtype=np.int64)
+
+
+# ---------------------------------------------------------------------------
+# Expression lowering
+# ---------------------------------------------------------------------------
+
+
+class VectorExprCompiler:
+    """Compile ``ast.Expr`` trees to NumPy lane kernels.
+
+    Kernels are cached per expression node (structural equality), mirroring
+    :class:`~repro.sim.compile.CompiledEvaluator`.  Width inference and
+    constant folding delegate to the interpreter, which defines the
+    reference semantics.
+    """
+
+    def __init__(self, model: RtlModel):
+        self._model = model
+        self._interp = ExprEvaluator(model)
+        self._signal_names = frozenset(model.signals)
+        self._cache: Dict[ast.Expr, VecKernel] = {}
+
+    @property
+    def model(self) -> RtlModel:
+        return self._model
+
+    def width_of(self, expr: ast.Expr) -> int:
+        return self._interp.width_of(expr)
+
+    # -- value-range analysis -------------------------------------------------
+
+    def value_bits(self, expr: ast.Expr) -> int:
+        """Upper bound, in bits, of the scalar backend's value for ``expr``.
+
+        The scalar backends mask every node's result, but arithmetic keeps
+        carry/borrow headroom (``+``/``-`` produce width+1 bits, ``*``
+        produces 2*width), so this can exceed :meth:`width_of`.
+        """
+        if not (expr.signals() & self._signal_names):
+            return max(self._interp.eval(expr, {}).bit_length(), 1)
+        if isinstance(expr, ast.Identifier):
+            return self.width_of(expr)
+        if isinstance(expr, ast.BitSelect):
+            return 1
+        if isinstance(expr, ast.PartSelect):
+            return self.width_of(expr)
+        if isinstance(expr, ast.Unary):
+            if expr.op in ("!", "&", "|", "^"):
+                return 1
+            return self.width_of(expr.operand)
+        if isinstance(expr, ast.Binary):
+            op = expr.op
+            if op in ("==", "!=", "===", "!==", "<", "<=", ">", ">=", "&&", "||"):
+                return 1
+            width = max(self.width_of(expr.left), self.width_of(expr.right))
+            if op in ("+", "-"):
+                return width + 1
+            if op == "*":
+                return 2 * width
+            if op in ("<<", "<<<"):
+                return self.width_of(expr.left)
+            if op in (">>", ">>>"):
+                return min(self.value_bits(expr.left), _MAX_VALUE_BITS)
+            if op == "&":
+                return min(self.value_bits(expr.left), self.value_bits(expr.right))
+            if op in ("|", "^"):
+                return max(self.value_bits(expr.left), self.value_bits(expr.right))
+            return width  # '/', '%', '**' are masked to the operand width
+        if isinstance(expr, ast.Ternary):
+            return max(self.value_bits(expr.then), self.value_bits(expr.otherwise))
+        if isinstance(expr, ast.Concat):
+            return sum(self.width_of(part) for part in expr.parts)
+        if isinstance(expr, ast.Replicate):
+            return self.width_of(expr)
+        raise UnsupportedForVectorization(f"cannot bound value of {expr!r}")
+
+    def _require_bits(self, bits: int, expr: ast.Expr) -> None:
+        if bits > _MAX_VALUE_BITS:
+            raise UnsupportedForVectorization(
+                f"{expr!r} needs {bits} bits; int64 lanes hold {_MAX_VALUE_BITS}"
+            )
+
+    # -- compilation ----------------------------------------------------------
+
+    def compile(self, expr: ast.Expr) -> VecKernel:
+        kernel = self._cache.get(expr)
+        if kernel is None:
+            kernel = self._build(expr)
+            self._cache[expr] = kernel
+        return kernel
+
+    def _build(self, expr: ast.Expr) -> VecKernel:
+        if not (expr.signals() & self._signal_names):
+            try:
+                value = self._interp.eval(expr, {})
+            except EvalError as exc:
+                raise UnsupportedForVectorization(str(exc)) from exc
+            self._require_bits(max(value.bit_length(), 1), expr)
+            return lambda cols: value
+        self._require_bits(self.value_bits(expr), expr)
+
+        if isinstance(expr, ast.Identifier):
+            name = expr.name
+            if name not in self._model.signals:
+                raise UnsupportedForVectorization(f"unknown signal {name!r}")
+            return lambda cols: cols[name]
+        if isinstance(expr, ast.BitSelect):
+            return self._build_bit_select(expr)
+        if isinstance(expr, ast.PartSelect):
+            base = self.compile(expr.base)
+            msb = self._interp.const_value(expr.msb)
+            lsb = self._interp.const_value(expr.lsb)
+            if msb < lsb:
+                msb, lsb = lsb, msb
+            mask = (1 << (msb - lsb + 1)) - 1
+            lsb = min(lsb, 63)
+            return lambda cols: (base(cols) >> lsb) & mask
+        if isinstance(expr, ast.Unary):
+            return self._build_unary(expr)
+        if isinstance(expr, ast.Binary):
+            return self._build_binary(expr)
+        if isinstance(expr, ast.Ternary):
+            cond = self.compile(expr.cond)
+            then = self.compile(expr.then)
+            otherwise = self.compile(expr.otherwise)
+
+            def ternary(cols: Cols) -> np.ndarray:
+                return np.where(_as_bool(cond(cols)), then(cols), otherwise(cols))
+
+            return ternary
+        if isinstance(expr, ast.Concat):
+            parts = [(self.compile(p), self.width_of(p)) for p in expr.parts]
+            shifts: List[Tuple[VecKernel, int, int]] = []
+            offset = sum(width for _, width in parts)
+            for kernel, width in parts:
+                offset -= width
+                shifts.append((kernel, offset, (1 << width) - 1))
+            shifts_t = tuple(shifts)
+
+            def concat(cols: Cols) -> np.ndarray:
+                value: Union[np.ndarray, int] = 0
+                for kernel, shift, mask in shifts_t:
+                    value = value | ((kernel(cols) & mask) << shift)
+                return value
+
+            return concat
+        if isinstance(expr, ast.Replicate):
+            count = self._interp.const_value(expr.count)
+            width = self.width_of(expr.value)
+            chunk = self.compile(expr.value)
+            mask = (1 << width) - 1
+            factor = ((1 << (width * count)) - 1) // mask if count and mask else 0
+            return lambda cols: (chunk(cols) & mask) * factor
+        raise UnsupportedForVectorization(f"cannot vector-lower {expr!r}")
+
+    def _build_bit_select(self, expr: ast.BitSelect) -> VecKernel:
+        base = self.compile(expr.base)
+        if not (expr.index.signals() & self._signal_names):
+            index = self._interp.eval(expr.index, {})
+            if index < 0:
+                raise EvalError(f"negative bit index {index}")
+            index = min(index, 63)
+            return lambda cols: (base(cols) >> index) & 1
+        index_k = self.compile(expr.index)
+
+        def bit_select(cols: Cols) -> np.ndarray:
+            # Lane values are non-negative and < 2**63, so any shift >= 63
+            # extracts a zero bit, matching the scalar backends.
+            index = np.minimum(index_k(cols), 63)
+            return (base(cols) >> index) & 1
+
+        return bit_select
+
+    def _build_unary(self, expr: ast.Unary) -> VecKernel:
+        operand = self.compile(expr.operand)
+        width = self.width_of(expr.operand)
+        mask = (1 << width) - 1
+        op = expr.op
+        if op == "~":
+            return lambda cols: ~operand(cols) & mask
+        if op == "!":
+            return lambda cols: _to_int(np.equal(operand(cols), 0))
+        if op == "-":
+            return lambda cols: -operand(cols) & mask
+        if op == "&":
+            return lambda cols: _to_int(np.equal(operand(cols), mask))
+        if op == "|":
+            return lambda cols: _to_int(np.not_equal(operand(cols), 0))
+        if op == "^":
+            if not hasattr(np, "bitwise_count"):
+                # NumPy < 2.0 has no vectorized popcount; the compiled
+                # scalar backend handles reduction-XOR instead.
+                raise UnsupportedForVectorization(
+                    "reduction '^' needs numpy>=2.0 (np.bitwise_count)"
+                )
+            return lambda cols: _to_int(
+                np.bitwise_count(np.asarray(operand(cols), dtype=np.int64)) & 1
+            )
+        raise UnsupportedForVectorization(f"unsupported unary operator {op!r}")
+
+    def _build_binary(self, expr: ast.Binary) -> VecKernel:
+        op = expr.op
+        left = self.compile(expr.left)
+        right = self.compile(expr.right)
+        if op == "&&":
+            return lambda cols: _to_int(_as_bool(left(cols)) & _as_bool(right(cols)))
+        if op == "||":
+            return lambda cols: _to_int(_as_bool(left(cols)) | _as_bool(right(cols)))
+        width = max(self.width_of(expr.left), self.width_of(expr.right))
+        mask = (1 << width) - 1
+        carry_mask = (1 << (width + 1)) - 1
+        if op in ("+", "-"):
+            self._require_bits(
+                max(self.value_bits(expr.left), self.value_bits(expr.right)) + 1, expr
+            )
+        if op == "*":
+            self._require_bits(
+                self.value_bits(expr.left) + self.value_bits(expr.right), expr
+            )
+            mul_mask = (1 << (2 * width)) - 1
+            return lambda cols: (left(cols) * right(cols)) & mul_mask
+        if op == "+":
+            return lambda cols: (left(cols) + right(cols)) & carry_mask
+        if op == "-":
+            return lambda cols: (left(cols) - right(cols)) & carry_mask
+        if op == "/":
+
+            def div(cols: Cols) -> np.ndarray:
+                l, r = left(cols), right(cols)
+                safe = np.where(np.equal(r, 0), 1, r)
+                return np.where(np.equal(r, 0), mask, (l // safe) & mask)
+
+            return div
+        if op == "%":
+
+            def mod(cols: Cols) -> np.ndarray:
+                l, r = left(cols), right(cols)
+                safe = np.where(np.equal(r, 0), 1, r)
+                return np.where(np.equal(r, 0), l & mask, (l % safe) & mask)
+
+            return mod
+        if op == "**":
+            # Exponentiation wraps unpredictably in fixed-width lanes; keep
+            # the scalar backends authoritative for it.
+            raise UnsupportedForVectorization("'**' is not vector-lowered")
+        if op in ("&", "|", "^"):
+            fn = {"&": np.bitwise_and, "|": np.bitwise_or, "^": np.bitwise_xor}[op]
+            return lambda cols: fn(left(cols), right(cols))
+        if op in ("==", "==="):
+            return lambda cols: _to_int(np.equal(left(cols), right(cols)))
+        if op in ("!=", "!=="):
+            return lambda cols: _to_int(np.not_equal(left(cols), right(cols)))
+        if op in ("<", "<=", ">", ">="):
+            fn = {
+                "<": np.less, "<=": np.less_equal,
+                ">": np.greater, ">=": np.greater_equal,
+            }[op]
+            return lambda cols: _to_int(fn(left(cols), right(cols)))
+        if op in ("<<", "<<<", ">>", ">>>"):
+            left_width = self.width_of(expr.left)
+            left_mask = (1 << left_width) - 1
+            if op in (">>", ">>>"):
+
+                def shr(cols: Cols) -> np.ndarray:
+                    shift = np.minimum(right(cols), 63)
+                    return (left(cols) >> shift) & left_mask
+
+                return shr
+
+            def shl(cols: Cols) -> np.ndarray:
+                # Only bits that survive the final mask are shifted: masking
+                # the operand with (left_mask >> s) first keeps the product
+                # below 2**left_width, so int64 lanes never overflow.
+                shift = np.minimum(right(cols), left_width)
+                return (left(cols) & (left_mask >> shift)) << shift
+
+            return shl
+        raise UnsupportedForVectorization(f"unsupported binary operator {op!r}")
+
+
+def _as_bool(value: Union[np.ndarray, int]) -> Union[np.ndarray, bool]:
+    if isinstance(value, np.ndarray):
+        return np.not_equal(value, 0)
+    return value != 0
+
+
+def _to_int(value: Union[np.ndarray, bool]) -> Union[np.ndarray, int]:
+    if isinstance(value, np.ndarray):
+        return value.astype(np.int64)
+    return int(value)
+
+
+# ---------------------------------------------------------------------------
+# Statement lowering (masked execution)
+# ---------------------------------------------------------------------------
+
+#: A lane mask: boolean ndarray, or None meaning "all lanes".
+Mask = Optional[np.ndarray]
+
+
+def _and_mask(mask: Mask, cond: Union[np.ndarray, bool]) -> Union[np.ndarray, bool]:
+    if isinstance(cond, bool):
+        cond = cond  # scalar condition applies to every lane uniformly
+    if mask is None:
+        return cond
+    return mask & cond
+
+
+def _mask_any(mask: Union[np.ndarray, bool]) -> bool:
+    if isinstance(mask, np.ndarray):
+        return bool(mask.any())
+    return bool(mask)
+
+
+class _NbSink:
+    """Non-blocking staging area with per-lane written masks.
+
+    Mirrors the scalar ``next_values`` dict: a name is "written" per lane,
+    and reads used by bit/part-select stores fall back to the live (shadow)
+    environment for unwritten lanes.
+    """
+
+    __slots__ = ("env", "values", "written")
+
+    def __init__(self, env: Cols):
+        self.env = env
+        self.values: Cols = {}
+        self.written: Dict[str, np.ndarray] = {}
+
+    def current(self, name: str, lanes: int) -> np.ndarray:
+        if name in self.values:
+            return np.where(self.written[name], self.values[name], self.env[name])
+        return self.env[name]
+
+    def write(self, name: str, value: np.ndarray, mask: Mask, lanes: int) -> None:
+        if mask is None:
+            mask = np.ones(lanes, dtype=bool)
+        if name in self.values:
+            self.values[name] = np.where(mask, value, self.values[name])
+            self.written[name] = self.written[name] | mask
+        else:
+            self.values[name] = np.where(mask, value, 0)
+            self.written[name] = mask.copy()
+
+
+#: A compiled statement: ``fn(env_cols, nb_sink, mask, lanes)``.  Blocking
+#: assignments write into ``env_cols`` under ``mask``; non-blocking ones are
+#: staged into ``nb_sink`` (which is an alias of ``env_cols`` for
+#: combinational execution, matching the scalar executor).
+VecStmtKernel = Callable[[Cols, "_NbSink", Mask, int], None]
+#: A compiled store target: ``fn(value, env_cols, nb_or_none, mask, lanes)``.
+VecStoreKernel = Callable[[np.ndarray, Cols, Optional[_NbSink], Mask, int], None]
+
+
+class VectorStmtCompiler:
+    """Compile procedural statement bodies to masked array kernels."""
+
+    def __init__(self, model: RtlModel, exprs: VectorExprCompiler):
+        self._model = model
+        self._exprs = exprs
+        self._stmt_cache: Dict[int, Tuple[ast.Stmt, VecStmtKernel]] = {}
+
+    def compile_stmt(self, stmt: ast.Stmt) -> VecStmtKernel:
+        cached = self._stmt_cache.get(id(stmt))
+        if cached is not None:
+            return cached[1]
+        kernel = self._build_stmt(stmt)
+        self._stmt_cache[id(stmt)] = (stmt, kernel)
+        return kernel
+
+    def _build_stmt(self, stmt: ast.Stmt) -> VecStmtKernel:
+        if isinstance(stmt, ast.Block):
+            kernels = tuple(self.compile_stmt(inner) for inner in stmt.statements)
+            if len(kernels) == 1:
+                return kernels[0]
+
+            def block(env: Cols, nb: _NbSink, mask: Mask, lanes: int) -> None:
+                for kernel in kernels:
+                    kernel(env, nb, mask, lanes)
+
+            return block
+        if isinstance(stmt, ast.Assignment):
+            value = self._exprs.compile(stmt.value)
+            store = self._build_store(stmt.target, blocking=stmt.blocking)
+
+            def assign(env: Cols, nb: _NbSink, mask: Mask, lanes: int) -> None:
+                store(_as_array(value(env), lanes), env, nb, mask, lanes)
+
+            return assign
+        if isinstance(stmt, ast.If):
+            cond = self._exprs.compile(stmt.condition)
+            then = self.compile_stmt(stmt.then_body)
+            otherwise = (
+                self.compile_stmt(stmt.else_body) if stmt.else_body is not None else None
+            )
+
+            def if_stmt(env: Cols, nb: _NbSink, mask: Mask, lanes: int) -> None:
+                taken = _as_bool(cond(env))
+                then_mask = _and_mask(mask, taken)
+                if _mask_any(then_mask):
+                    then(env, nb, _materialize(then_mask, lanes), lanes)
+                if otherwise is not None:
+                    else_mask = _and_mask(mask, _invert(taken))
+                    if _mask_any(else_mask):
+                        otherwise(env, nb, _materialize(else_mask, lanes), lanes)
+
+            return if_stmt
+        if isinstance(stmt, ast.Case):
+            subject = self._exprs.compile(stmt.subject)
+            arms = tuple(
+                (
+                    tuple(self._exprs.compile(label) for label in item.labels),
+                    self.compile_stmt(item.body),
+                )
+                for item in stmt.items
+            )
+            default = self.compile_stmt(stmt.default) if stmt.default is not None else None
+
+            def case(env: Cols, nb: _NbSink, mask: Mask, lanes: int) -> None:
+                value = subject(env)
+                unmatched: Union[np.ndarray, bool] = True
+                for labels, body in arms:
+                    hit: Union[np.ndarray, bool] = False
+                    for label in labels:
+                        hit = hit | np.equal(label(env), value)
+                    arm_mask = _and_mask(mask, unmatched & hit)
+                    if _mask_any(arm_mask):
+                        body(env, nb, _materialize(arm_mask, lanes), lanes)
+                    unmatched = unmatched & _invert(hit)
+                if default is not None:
+                    default_mask = _and_mask(mask, unmatched)
+                    if _mask_any(default_mask):
+                        default(env, nb, _materialize(default_mask, lanes), lanes)
+
+            return case
+        raise UnsupportedForVectorization(f"unsupported statement {stmt!r}")
+
+    # -- store targets --------------------------------------------------------
+
+    def _build_store(self, target: ast.Expr, blocking: bool) -> VecStmtKernelStore:
+        inner = self._build_store_kernel(target)
+        if blocking:
+            return lambda value, env, nb, mask, lanes: inner(value, env, None, mask, lanes)
+        return lambda value, env, nb, mask, lanes: inner(value, env, nb, mask, lanes)
+
+    def _build_store_kernel(self, target: ast.Expr) -> VecStoreKernel:
+        if isinstance(target, ast.Identifier):
+            name = target.name
+            smask = self._model.signal(name).mask
+            if smask.bit_length() > _MAX_VALUE_BITS:
+                raise UnsupportedForVectorization(
+                    f"signal {name!r} is wider than int64 lanes allow"
+                )
+
+            def store_ident(
+                value: np.ndarray, env: Cols, nb: Optional[_NbSink], mask: Mask, lanes: int
+            ) -> None:
+                masked = value & smask
+                if nb is None:
+                    env[name] = masked if mask is None else np.where(mask, masked, env[name])
+                else:
+                    nb.write(name, masked, mask, lanes)
+
+            return store_ident
+        if isinstance(target, ast.BitSelect):
+            name = self._target_name(target)
+            smask = self._model.signal(name).mask
+            index_k = self._exprs.compile(target.index)
+
+            def store_bit(
+                value: np.ndarray, env: Cols, nb: Optional[_NbSink], mask: Mask, lanes: int
+            ) -> None:
+                index = _as_array(index_k(env), lanes)
+                # Indices past the lane width select a bit the final signal
+                # mask would drop anyway; pin them to "no bit" exactly.
+                bit = np.where(index > 62, 0, 1 << np.minimum(index, 62))
+                current = env[name] if nb is None else nb.current(name, lanes)
+                updated = np.where(_as_bool(value & 1), current | bit, current & ~bit) & smask
+                if nb is None:
+                    env[name] = updated if mask is None else np.where(mask, updated, env[name])
+                else:
+                    nb.write(name, updated, mask, lanes)
+
+            return store_bit
+        if isinstance(target, ast.PartSelect):
+            name = self._target_name(target)
+            smask = self._model.signal(name).mask
+            msb_k = self._exprs.compile(target.msb)
+            lsb_k = self._exprs.compile(target.lsb)
+
+            def store_part(
+                value: np.ndarray, env: Cols, nb: Optional[_NbSink], mask: Mask, lanes: int
+            ) -> None:
+                msb = _as_array(msb_k(env), lanes)
+                lsb = _as_array(lsb_k(env), lanes)
+                lo_raw = np.minimum(msb, lsb)
+                hi = np.maximum(msb, lsb)
+                lo = np.minimum(lo_raw, 62)
+                width = np.minimum(hi - lo_raw + 1, 62 - lo)
+                field = np.where(lo_raw > 62, 0, ((1 << width) - 1) << lo)
+                current = env[name] if nb is None else nb.current(name, lanes)
+                updated = ((current & ~field) | ((value << lo) & field)) & smask
+                if nb is None:
+                    env[name] = updated if mask is None else np.where(mask, updated, env[name])
+                else:
+                    nb.write(name, updated, mask, lanes)
+
+            return store_part
+        if isinstance(target, ast.Concat):
+            parts: List[Tuple[VecStoreKernel, int, int]] = []
+            offset = sum(self._exprs.width_of(part) for part in target.parts)
+            for part in target.parts:
+                width = self._exprs.width_of(part)
+                offset -= width
+                parts.append((self._build_store_kernel(part), offset, (1 << width) - 1))
+            parts_t = tuple(parts)
+
+            def store_concat(
+                value: np.ndarray, env: Cols, nb: Optional[_NbSink], mask: Mask, lanes: int
+            ) -> None:
+                for store, shift, pmask in parts_t:
+                    store((value >> shift) & pmask, env, nb, mask, lanes)
+
+            return store_concat
+        raise UnsupportedForVectorization(f"unsupported assignment target {target!r}")
+
+    def _target_name(self, target: ast.Expr) -> str:
+        base = target.base if isinstance(target, (ast.BitSelect, ast.PartSelect)) else target
+        if isinstance(base, ast.Identifier):
+            return base.name
+        raise UnsupportedForVectorization(f"unsupported nested target {target!r}")
+
+
+#: The masked-assignment adapter produced by ``_build_store``.
+VecStmtKernelStore = Callable[[np.ndarray, Cols, _NbSink, Mask, int], None]
+
+
+def _materialize(mask: Union[np.ndarray, bool], lanes: int) -> Mask:
+    if isinstance(mask, np.ndarray):
+        return mask
+    return None if mask else np.zeros(lanes, dtype=bool)
+
+
+def _invert(cond: Union[np.ndarray, bool]) -> Union[np.ndarray, bool]:
+    if isinstance(cond, np.ndarray):
+        return ~cond
+    return not cond
+
+
+# ---------------------------------------------------------------------------
+# Bit packing
+# ---------------------------------------------------------------------------
+
+
+def pack_tuple(values: Sequence[int], widths: Sequence[int]) -> int:
+    """Pack one value tuple into a single int (LSB-first fields)."""
+    packed = 0
+    shift = 0
+    for value, width in zip(values, widths):
+        packed |= (value & ((1 << width) - 1)) << shift
+        shift += width
+    return packed
+
+
+def unpack_tuple(packed: int, widths: Sequence[int]) -> Tuple[int, ...]:
+    """Inverse of :func:`pack_tuple`."""
+    values = []
+    shift = 0
+    for width in widths:
+        values.append((packed >> shift) & ((1 << width) - 1))
+        shift += width
+    return tuple(values)
+
+
+def pack_columns(
+    cols: Cols,
+    names: Sequence[str],
+    widths: Sequence[int],
+    lanes: Optional[int] = None,
+) -> np.ndarray:
+    """Pack per-signal lane columns into one int64 lane per element.
+
+    ``lanes`` sizes the result for a zero-field packing (a design with no
+    state registers still has one — all-zero — packed state per lane).
+    """
+    packed: Union[np.ndarray, int] = 0
+    shift = 0
+    for name, width in zip(names, widths):
+        packed = packed | ((cols[name] & ((1 << width) - 1)) << shift)
+        shift += width
+    if not isinstance(packed, np.ndarray):  # no fields: zero-dim state space
+        if lanes is None:
+            lanes = len(next(iter(cols.values()))) if cols else 0
+        return np.zeros(lanes, dtype=np.int64)
+    return packed
+
+
+def unpack_columns(
+    packed: np.ndarray, names: Sequence[str], widths: Sequence[int]
+) -> Cols:
+    """Inverse of :func:`pack_columns`."""
+    cols: Cols = {}
+    shift = 0
+    for name, width in zip(names, widths):
+        cols[name] = (packed >> shift) & ((1 << width) - 1)
+        shift += width
+    return cols
+
+
+# ---------------------------------------------------------------------------
+# The model kernel
+# ---------------------------------------------------------------------------
+
+
+class VectorKernel:
+    """Structure-of-arrays kernel for one elaborated model.
+
+    Construction raises :class:`UnsupportedForVectorization` when any part
+    of the model cannot be lowered; callers treat that as "use the compiled
+    scalar backend instead".
+    """
+
+    backend = "vectorized"
+
+    def __init__(self, model: RtlModel):
+        self._model = model
+        self.exprs = VectorExprCompiler(model)
+        self._stmts = VectorStmtCompiler(model, self.exprs)
+
+        assigns = tuple(
+            (self.exprs.compile(assign.value), self._stmts._build_store_kernel(assign.target))
+            for assign in model.assigns
+        )
+        comb = tuple(self._stmts.compile_stmt(process.body) for process in model.comb_processes)
+        self._assigns = assigns
+        self._comb = comb
+        settle_targets = [assign.target_name for assign in model.assigns]
+        for process in model.comb_processes:
+            settle_targets.extend(process.targets)
+        self._settle_targets = tuple(dict.fromkeys(settle_targets))
+        self._seq = tuple(
+            (self._stmts.compile_stmt(process.body), tuple(sorted(process.targets)))
+            for process in model.seq_processes
+        )
+
+        self.state_names: Tuple[str, ...] = tuple(model.state_regs)
+        self.state_widths: Tuple[int, ...] = tuple(
+            model.signals[name].width for name in self.state_names
+        )
+        self.input_names: Tuple[str, ...] = tuple(model.non_clock_inputs)
+        self.input_widths: Tuple[int, ...] = tuple(
+            model.signals[name].width for name in self.input_names
+        )
+        if sum(self.state_widths) > _MAX_VALUE_BITS:
+            raise UnsupportedForVectorization(
+                f"{sum(self.state_widths)} state bits exceed one int64 lane"
+            )
+        for name, signal in model.signals.items():
+            if signal.width > _MAX_VALUE_BITS:
+                raise UnsupportedForVectorization(
+                    f"signal {name!r} ({signal.width} bits) exceeds int64 lanes"
+                )
+
+    @property
+    def model(self) -> RtlModel:
+        return self._model
+
+    # -- packing --------------------------------------------------------------
+
+    def pack_state(self, state: Sequence[int]) -> int:
+        """Pack one register-value tuple into a single int lane."""
+        return pack_tuple(state, self.state_widths)
+
+    def unpack_state(self, packed: int) -> Tuple[int, ...]:
+        return unpack_tuple(packed, self.state_widths)
+
+    def pack_input_grid(self, grid: Sequence[Sequence[int]]) -> np.ndarray:
+        """Pack an input-valuation grid into one int64 lane per valuation."""
+        return np.asarray(
+            [pack_tuple(combo, self.input_widths) for combo in grid], dtype=np.int64
+        )
+
+    # -- environments ---------------------------------------------------------
+
+    def blank_env(self, lanes: int) -> Cols:
+        """All-signal columnar environment initialised to zero."""
+        return {name: np.zeros(lanes, dtype=np.int64) for name in self._model.signals}
+
+    def initial_env(self, lanes: int) -> Cols:
+        """Reset-state environment: zeros plus declared initial values."""
+        cols = self.blank_env(lanes)
+        for name, value in self._model.initial_values.items():
+            signal = self._model.signals[name]
+            cols[name] = np.full(lanes, value & signal.mask, dtype=np.int64)
+        return cols
+
+    def env_row(self, cols: Cols, lane: int, names: Optional[Sequence[str]] = None) -> Dict[str, int]:
+        """Materialise one lane as a scalar ``{signal: int}`` environment."""
+        keys = names if names is not None else cols.keys()
+        return {name: int(cols[name][lane]) for name in keys}
+
+    # -- combinational settle -------------------------------------------------
+
+    def settle(self, cols: Cols, max_iterations: int = _MAX_SETTLE_ITERATIONS) -> bool:
+        """Settle every lane in place; True when a fixpoint was reached.
+
+        All lanes start together and the pass is idempotent at a fixpoint,
+        so running already-settled lanes for another iteration cannot change
+        them — per-lane convergence tracking is unnecessary.
+        """
+        targets = self._settle_targets
+        lanes = len(next(iter(cols.values()))) if cols else 0
+        for _ in range(max_iterations):
+            before = [cols[name] for name in targets]
+            self._comb_pass(cols, lanes)
+            if all(
+                prev is cols[name] or np.array_equal(prev, cols[name])
+                for prev, name in zip(before, targets)
+            ):
+                return True
+        return False
+
+    def _comb_pass(self, cols: Cols, lanes: int) -> None:
+        for value, store in self._assigns:
+            store(_as_array(value(cols), lanes), cols, None, None, lanes)
+        if self._comb:
+            sink = _EnvAliasSink(cols)
+            for process in self._comb:
+                process(cols, sink, None, lanes)
+
+    # -- sequential clocking --------------------------------------------------
+
+    def next_state_columns(self, env: Cols, lanes: int) -> Cols:
+        """Post-clock register columns for an already-settled environment.
+
+        Mirrors ``TransitionSystem._compute_step``: every sequential process
+        runs over a blocking shadow, non-blocking writes are staged with
+        per-lane written masks, and unwritten lanes keep their old register
+        values.
+        """
+        nb = _NbSink(env)
+        for body, targets in self._seq:
+            shadow = dict(env)
+            nb.env = shadow
+            body(shadow, nb, None, lanes)
+            for name in targets:
+                if shadow[name] is env[name]:
+                    continue
+                changed = np.not_equal(shadow[name], env[name])
+                if name in nb.written:
+                    changed = changed & ~nb.written[name]
+                if changed.any():
+                    nb.write(name, shadow[name], changed, lanes)
+        nb.env = env
+        out: Cols = {}
+        for name in self.state_names:
+            if name in nb.values:
+                out[name] = np.where(nb.written[name], nb.values[name], env[name])
+            else:
+                out[name] = env[name]
+        return out
+
+    # -- the batched transition -----------------------------------------------
+
+    def step_batch(
+        self, state_cols: Cols, input_cols: Cols, lanes: int
+    ) -> Tuple[Cols, Cols]:
+        """Advance a batch of (state, input) lanes by one clock.
+
+        Returns ``(env_cols, next_state_cols)`` where ``env_cols`` is the
+        settled pre-clock environment (identical to
+        :meth:`~repro.fpv.transition.TransitionSystem.settle`) and
+        ``next_state_cols`` holds the post-clock register columns.
+        """
+        env = self.blank_env(lanes)
+        for name in self.state_names:
+            env[name] = np.asarray(state_cols[name], dtype=np.int64)
+        for name in self.input_names:
+            column = input_cols.get(name)
+            if column is None:
+                continue  # absent inputs stay 0, like the scalar step
+            mask = self._model.signals[name].mask
+            env[name] = np.asarray(column, dtype=np.int64) & mask
+        # Clocks are already zero in a blank environment.
+        self.settle(env)
+        return env, self.next_state_columns(env, lanes)
+
+    def step_packed(
+        self, packed_states: np.ndarray, packed_inputs: np.ndarray
+    ) -> Tuple[Cols, np.ndarray]:
+        """`step_batch` over bit-packed state/input lanes."""
+        lanes = len(packed_states)
+        env, next_cols = self.step_batch(
+            unpack_columns(packed_states, self.state_names, self.state_widths),
+            unpack_columns(packed_inputs, self.input_names, self.input_widths),
+            lanes,
+        )
+        return env, pack_columns(next_cols, self.state_names, self.state_widths, lanes)
+
+
+class _EnvAliasSink(_NbSink):
+    """Non-blocking sink that writes straight into the environment.
+
+    Combinational execution treats non-blocking assignments like blocking
+    ones (the scalar executor passes ``env`` as both sinks).
+    """
+
+    def __init__(self, env: Cols):
+        super().__init__(env)
+
+    def current(self, name: str, lanes: int) -> np.ndarray:
+        return self.env[name]
+
+    def write(self, name: str, value: np.ndarray, mask: Mask, lanes: int) -> None:
+        self.env[name] = value if mask is None else np.where(mask, value, self.env[name])
+
+
+def lower_model(model: RtlModel) -> Optional[VectorKernel]:
+    """Lower ``model`` to a :class:`VectorKernel`, or ``None`` if unsupported."""
+    try:
+        return VectorKernel(model)
+    except (UnsupportedForVectorization, EvalError):
+        return None
+
+
+# ---------------------------------------------------------------------------
+# Batched simulation (falsification traces)
+# ---------------------------------------------------------------------------
+
+
+def comb_cycle_independent(model: RtlModel) -> bool:
+    """True when every simulated cycle's settled values depend only on that
+    cycle's inputs.
+
+    Holds for purely combinational designs whose logic is an acyclic network
+    of continuous assignments: no registers, no ``always @(*)`` blocks
+    (incomplete assignment inside one latches state across settles), and no
+    assign feeding back into itself.  Such designs can settle every
+    (stimulus, cycle) pair as one flat batch.
+    """
+    if model.seq_processes or model.comb_processes:
+        return False
+    supports: Dict[str, set] = {}
+    for assign in model.assigns:
+        supports.setdefault(assign.target_name, set()).update(assign.supports)
+    visiting: Dict[str, int] = {}  # 1 = on stack, 2 = done
+
+    def acyclic(name: str) -> bool:
+        state = visiting.get(name)
+        if state == 2:
+            return True
+        if state == 1:
+            return False
+        visiting[name] = 1
+        for dep in supports.get(name, ()):
+            if dep in supports and not acyclic(dep):
+                return False
+        visiting[name] = 2
+        return True
+
+    return all(acyclic(name) for name in supports)
+
+
+def simulate_batch(
+    model: RtlModel,
+    stimuli: Sequence,
+    cycles: int,
+    kernel: Optional[VectorKernel] = None,
+) -> List[Trace]:
+    """Run one trace per stimulus, stepping all lanes as one batch.
+
+    Bit-for-bit equivalent to running ``Simulator(model).run(cycles, s)``
+    once per stimulus: the per-cycle snapshot is the settled pre-edge
+    environment, exactly as the scalar simulator records it.  Sequential
+    designs batch one lane per stimulus and advance cycle by cycle;
+    cycle-independent combinational designs (see
+    :func:`comb_cycle_independent`) settle every (stimulus, cycle) pair of
+    the whole run as one flat batch.
+    """
+    from .stimulus import stack_stimuli
+
+    if kernel is None:
+        kernel = VectorKernel(model)
+    design_name = model.name
+    signal_names = list(model.signals)
+    num_stimuli = len(stimuli)
+    stacked = stack_stimuli(stimuli, model, cycles)  # (cycles, lanes) per input
+
+    if not model.seq_processes and comb_cycle_independent(model):
+        # One settle over stimuli × cycles lanes (Fortran ravel keeps each
+        # stimulus' cycles contiguous per lane block).
+        lanes = num_stimuli * cycles
+        env = kernel.initial_env(lanes)
+        for name in model.non_clock_inputs:
+            env[name] = np.ascontiguousarray(stacked[name].ravel(order="F"))
+        if not kernel.settle(env):
+            raise CombinationalLoopError(
+                f"combinational logic of {design_name!r} did not settle"
+            )
+        traces = []
+        for lane in range(num_stimuli):
+            trace = Trace(signals=list(signal_names), design_name=design_name)
+            for name in signal_names:
+                trace.data[name] = env[name][lane * cycles : (lane + 1) * cycles].tolist()
+            traces.append(trace)
+        return traces
+
+    lanes = num_stimuli
+    env = kernel.initial_env(lanes)
+    if not kernel.settle(env):
+        raise CombinationalLoopError(
+            f"combinational logic of {design_name!r} did not settle"
+        )
+    columns: Dict[str, List[List[int]]] = {name: [] for name in signal_names}
+    sequential = bool(model.seq_processes)
+    for cycle in range(cycles):
+        for name in model.non_clock_inputs:
+            env[name] = stacked[name][cycle]
+        if not kernel.settle(env):
+            raise CombinationalLoopError(
+                f"combinational logic of {design_name!r} did not settle"
+            )
+        for name in signal_names:
+            columns[name].append(env[name].tolist())
+        if sequential:
+            next_cols = kernel.next_state_columns(env, lanes)
+            env.update(next_cols)
+            if not kernel.settle(env):
+                raise CombinationalLoopError(
+                    f"combinational logic of {design_name!r} did not settle"
+                )
+    traces = []
+    for lane in range(lanes):
+        trace = Trace(signals=list(signal_names), design_name=design_name)
+        for name in signal_names:
+            trace.data[name] = [row[lane] for row in columns[name]]
+        traces.append(trace)
+    return traces

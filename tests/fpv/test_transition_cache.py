@@ -1,0 +1,90 @@
+"""Step-cache projection/eviction and the precomputed input grid."""
+
+from __future__ import annotations
+
+from repro.fpv import TransitionSystem
+
+
+class TestInputGrid:
+    def test_grid_computed_once_and_ordered(self, counter_design):
+        system = TransitionSystem(counter_design)
+        grid = system.input_grid
+        assert grid is system.input_grid  # cached instance
+        # itertools.product order: last input varies fastest
+        assert len(grid) == system.input_space_size
+        assert grid[0] == tuple(0 for _ in system.input_names)
+
+    def test_enumerate_inputs_reuses_shared_dicts(self, counter_design):
+        system = TransitionSystem(counter_design)
+        first = list(system.enumerate_inputs())
+        second = list(system.enumerate_inputs())
+        assert first == second
+        assert all(a is b for a, b in zip(first, second))  # shared, not rebuilt
+
+    def test_grid_matches_legacy_enumeration(self, counter_design):
+        system = TransitionSystem(counter_design)
+        names = system.input_names
+        from_grid = [dict(zip(names, combo)) for combo in system.input_grid]
+        assert from_grid == list(system.enumerate_inputs())
+
+
+class TestStepCacheProjection:
+    def test_unobserved_step_returns_full_env(self, counter_design):
+        system = TransitionSystem(counter_design)
+        step = system.step((3,), {"rst": 0, "en": 1})
+        assert set(step.env) == set(counter_design.model.signals)
+
+    def test_observed_step_projects_env(self, counter_design):
+        system = TransitionSystem(counter_design)
+        system.observe({"count"})
+        step = system.step((3,), {"rst": 0, "en": 1})
+        expected = {"count"} | set(system.state_names) | set(system.input_names)
+        assert set(step.env) == expected & set(counter_design.model.signals)
+        # hit path returns the same projection
+        again = system.step((3,), {"rst": 0, "en": 1})
+        assert again.env == step.env
+        assert again.next_state == step.next_state
+
+    def test_widening_observation_invalidates_entries(self, counter_design):
+        system = TransitionSystem(counter_design)
+        system.observe({"count"})
+        system.step((1,), {"rst": 0, "en": 1})
+        assert system.step_cache_info()["entries"] == 1
+        system.observe({"count", "clk"})
+        assert system.step_cache_info()["entries"] == 0
+        step = system.step((1,), {"rst": 0, "en": 1})
+        assert "clk" in step.env
+
+    def test_narrower_observation_is_a_noop(self, counter_design):
+        system = TransitionSystem(counter_design)
+        system.observe({"count", "clk"})
+        system.step((1,), {"rst": 0, "en": 1})
+        system.observe({"count"})  # subset: entries survive
+        assert system.step_cache_info()["entries"] == 1
+
+
+class TestStepCacheEviction:
+    def test_full_cache_evicts_oldest_fraction_not_everything(self, counter_design):
+        system = TransitionSystem(counter_design)
+        system._step_cache_limit = 16
+        # fill the cache with distinct transitions
+        for state in range(16):
+            system.step((state,), {"rst": 0, "en": 1})
+        info = system.step_cache_info()
+        assert info["entries"] == 16
+        # one more insert evicts a bounded slice, keeping the working set
+        system.step((0,), {"rst": 1, "en": 0})
+        entries = system.step_cache_info()["entries"]
+        assert entries == 16 - 16 // 8 + 1  # evicted an eighth, added one
+        # the newest entries are still cached (a hit returns identical data)
+        recent = system.step((15,), {"rst": 0, "en": 1})
+        assert recent.next_state == ((15 + 1) % 16,)
+
+    def test_eviction_preserves_correctness(self, counter_design):
+        system = TransitionSystem(counter_design)
+        system._step_cache_limit = 4
+        results = {}
+        for state in range(8):
+            results[state] = system.step((state,), {"rst": 0, "en": 1}).next_state
+        for state in range(8):
+            assert system.step((state,), {"rst": 0, "en": 1}).next_state == results[state]
