@@ -1,0 +1,131 @@
+"""Benchmark regression gate: compare fresh BENCH_*.json reports to baselines.
+
+CI runs the smoke benchmarks, which rewrite the ``BENCH_*.json`` reports in
+the repository root, then invokes this gate against the committed baselines::
+
+    python benchmarks/regression_gate.py \
+        --baseline-dir benchmarks/baselines/smoke --tolerance 0.20
+
+The nightly full-corpus workflow gates its reports against the committed
+full-mode baselines (the ``BENCH_*.json`` files in the repository root)
+instead, via ``--baseline-dir .``.
+
+Only *machine-independent* metrics are gated — backend speedup ratios,
+warm-cache speedup ratios, and the (deterministic) mutation kill fraction.
+Absolute wall-clock fields vary with runner hardware and are reported but
+never gated.  A gated metric fails when it regresses more than ``tolerance``
+(default 20%) below its baseline; improvements never fail and are simply
+reported so a maintainer can refresh the baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: Gated metrics per report file.  ``direction`` "higher" means larger values
+#: are better, so a drop is a regression.  ``smoke_slack`` widens the band in
+#: smoke mode for ratios derived from sub-100ms timings (cache-warm reruns),
+#: which are far noisier on shared CI runners than the full-corpus numbers.
+GATED_METRICS = {
+    "BENCH_backend_speedup.json": {
+        "speedup": {"direction": "higher", "smoke_slack": 2.0},
+    },
+    "BENCH_campaign_throughput.json": {
+        "warm_speedup": {"direction": "higher", "smoke_slack": 3.0},
+        "streaming_vs_serial_speedup": {"direction": "higher", "smoke_slack": 2.0},
+    },
+    "BENCH_fpv_kernel.json": {
+        "speedup": {"direction": "higher", "smoke_slack": 1.5},
+        "warm_reachability_speedup": {"direction": "higher", "smoke_slack": 3.0},
+    },
+    "BENCH_mutation_kill.json": {
+        # Deterministic (no timing component): any drop is a semantic change.
+        "kill_fraction": {"direction": "higher", "smoke_slack": 1.0},
+    },
+}
+
+
+def compare_report(name: str, baseline: dict, candidate: dict, tolerance: float):
+    """Yield (metric, baseline, candidate, ok) rows for one report pair."""
+    smoke = bool(candidate.get("smoke"))
+    for metric, spec in GATED_METRICS.get(name, {}).items():
+        if metric not in baseline or metric not in candidate:
+            continue
+        base_value = float(baseline[metric])
+        new_value = float(candidate[metric])
+        band = tolerance * (spec.get("smoke_slack", 1.0) if smoke else 1.0)
+        if spec["direction"] == "higher":
+            ok = new_value >= base_value * (1.0 - band)
+        else:
+            ok = new_value <= base_value * (1.0 + band)
+        yield metric, base_value, new_value, ok
+
+
+def run_gate(candidate_dir: Path, baseline_dir: Path, tolerance: float) -> int:
+    failures = 0
+    compared = 0
+    for name in sorted(GATED_METRICS):
+        candidate_path = candidate_dir / name
+        baseline_path = baseline_dir / name
+        if not candidate_path.exists():
+            print(f"[skip] {name}: no candidate report produced")
+            continue
+        if not baseline_path.exists():
+            print(f"[skip] {name}: no committed baseline")
+            continue
+        baseline = json.loads(baseline_path.read_text())
+        candidate = json.loads(candidate_path.read_text())
+        if baseline.get("smoke") != candidate.get("smoke"):
+            print(
+                f"[skip] {name}: baseline smoke={baseline.get('smoke')} vs "
+                f"candidate smoke={candidate.get('smoke')} — not comparable"
+            )
+            continue
+        for metric, base_value, new_value, ok in compare_report(
+            name, baseline, candidate, tolerance
+        ):
+            compared += 1
+            delta = (new_value / base_value - 1.0) * 100 if base_value else 0.0
+            verdict = "ok" if ok else "REGRESSION"
+            print(
+                f"[{verdict}] {name}: {metric} {base_value:.3f} -> "
+                f"{new_value:.3f} ({delta:+.1f}%)"
+            )
+            if not ok:
+                failures += 1
+    if compared == 0:
+        print("error: no comparable (report, baseline) metric pairs found")
+        return 2
+    if failures:
+        print(
+            f"\n{failures} metric(s) regressed more than the tolerance; "
+            "investigate or refresh the committed baseline deliberately."
+        )
+        return 1
+    print(f"\nall {compared} gated metrics within tolerance")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--candidate-dir", type=Path, default=Path("."),
+        help="directory holding the freshly produced BENCH_*.json reports",
+    )
+    parser.add_argument(
+        "--baseline-dir", type=Path, required=True,
+        help="directory holding the committed baseline BENCH_*.json reports",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.20,
+        help="allowed fractional regression before failing (default 0.20)",
+    )
+    args = parser.parse_args(argv)
+    return run_gate(args.candidate_dir, args.baseline_dir, args.tolerance)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,9 +20,8 @@ import json
 import os
 import time
 from pathlib import Path
-from typing import Dict, List, Tuple
+from typing import List, Tuple
 
-import pytest
 
 from repro.core import SchedulerConfig, VerificationService
 from repro.fpv import EngineConfig, FormalEngine

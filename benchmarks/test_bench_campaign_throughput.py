@@ -29,7 +29,6 @@ import time
 from pathlib import Path
 from typing import List
 
-import pytest
 
 from repro.core import CampaignRuntime, PipelineConfig, RunStore
 from repro.core import scheduler as scheduler_module

@@ -1,0 +1,122 @@
+"""Mutation-analysis benchmark: kill-rate scoring throughput and quality.
+
+Mutation campaigns multiply the verification workload per assertion by the
+mutant count, which is exactly the fan-out the batched/vectorized scheduler
+was built to absorb: every mutant is a first-class design, so its batch
+rides :meth:`~repro.core.scheduler.VerificationService.check_many` with
+per-mutant reachability caching and the vectorized kernel underneath.
+
+The benchmark builds golden-passing assertions over the mutation corpus,
+enumerates the viable mutants of every design (semantic filter on), fans
+all (mutant, assertion) cells through one service call, and reports:
+
+* mutant generation rate (viable mutants per second, filter included),
+* verification throughput (mutation verdicts per second),
+* the outcome histogram and overall kill fraction.
+
+Results land in ``BENCH_mutation_kill.json``.  The smoke run (``REPRO_SMOKE=1``)
+gates only on sanity — some mutants generated, some kills observed, no
+errors — while the full run also requires paper-scale volume (hundreds of
+verdicts).  Throughput regressions are gated separately by CI's
+bench-regression job comparing this report against the committed baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Dict, List
+
+from repro.bench.corpus import get_corpus
+from repro.core.scheduler import SchedulerConfig, VerificationService
+from repro.fpv.engine import EngineConfig
+from repro.hdl.design import Design
+from repro.mining import mine_verified_assertions
+from repro.mutate import MutationCampaign, MutationConfig
+
+_SMOKE = os.environ.get("REPRO_SMOKE", "0") == "1"
+
+_NUM_DESIGNS = 8 if _SMOKE else None
+_LIMIT_PER_DESIGN = 8 if _SMOKE else 24
+_PER_DESIGN_ASSERTIONS = 3 if _SMOKE else 5
+_MIN_VERDICTS = 24 if _SMOKE else 400
+
+_ENGINE = EngineConfig(
+    max_states=2048,
+    max_transitions=120_000,
+    max_input_bits=10,
+    max_state_bits=14,
+    max_path_evaluations=120_000,
+    fallback_cycles=128 if _SMOKE else 256,
+    fallback_seeds=2,
+)
+
+_REPORT_PATH = Path(__file__).resolve().parent.parent / "BENCH_mutation_kill.json"
+
+
+def _candidate_assertions(design: Design, count: int) -> List[str]:
+    """Behavioural invariants mined from the golden design (killable by
+    construction: they encode actual golden behaviour, not width bounds)."""
+    mined = mine_verified_assertions(design)
+    return [assertion.to_sva(include_assert=True) for assertion in mined[: count * 2]]
+
+
+def test_mutation_kill_throughput():
+    corpus = get_corpus("assertionbench-mutation")
+    designs = corpus.test_designs(limit=_NUM_DESIGNS)
+
+    service = VerificationService(SchedulerConfig(engine=_ENGINE))
+    with service:
+        # Keep only assertions that pass FPV on the golden design — the
+        # mutation stage's contract — capped per design.
+        assertions_by_design: Dict[str, List[str]] = {}
+        for design in designs:
+            candidates = _candidate_assertions(design, _PER_DESIGN_ASSERTIONS)
+            verdicts = service.check_design(design, candidates)
+            passing = [
+                text
+                for text, proof in zip(candidates, verdicts)
+                if proof.is_pass
+            ]
+            assertions_by_design[design.name] = passing[:_PER_DESIGN_ASSERTIONS]
+
+        campaign = MutationCampaign(
+            service,
+            store=None,
+            config=MutationConfig(limit_per_design=_LIMIT_PER_DESIGN),
+        )
+        start = time.perf_counter()
+        summary = campaign.run(designs, assertions_by_design)
+        elapsed = time.perf_counter() - start
+
+    counts = summary.outcome_counts()
+    verdicts = len(summary)
+    mutants = len({(r.design_fingerprint, r.operator, r.site) for r in summary.records})
+    decided = counts["killed"] + counts["survived"]
+    kill_fraction = counts["killed"] / decided if decided else 0.0
+
+    report = {
+        "benchmark": "mutation_kill",
+        "corpus": "assertionbench-mutation",
+        "designs": len(designs),
+        "mutants": mutants,
+        "verdicts": verdicts,
+        "smoke": _SMOKE,
+        "outcomes": counts,
+        "kill_fraction": round(kill_fraction, 3),
+        "elapsed_s": round(elapsed, 3),
+        "verdicts_per_s": round(verdicts / elapsed, 1) if elapsed else 0.0,
+    }
+    _REPORT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    print(
+        f"\nmutation kill benchmark: {verdicts} verdicts over {mutants} mutants "
+        f"of {len(designs)} designs in {elapsed:.2f}s "
+        f"({report['verdicts_per_s']}/s), kill fraction {kill_fraction:.3f}"
+    )
+
+    assert mutants > 0, "no viable mutants generated"
+    assert verdicts >= _MIN_VERDICTS, f"only {verdicts} mutation verdicts"
+    assert counts["killed"] > 0, "no mutant was ever killed — scoring is inert"
+    assert counts["error"] == 0, f"{counts['error']} mutants failed to elaborate"

@@ -13,11 +13,12 @@ together with every substrate they depend on, built from scratch:
 * :mod:`repro.mining`   — GoldMine/HARM-style assertion miners and ranking
 * :mod:`repro.llm`      — prompts, simulated COTS LLMs, trainable AssertionLLM
 * :mod:`repro.bench`    — the AssertionBench corpus registry and ICE construction
+* :mod:`repro.mutate`   — mutation operators and kill-rate assertion scoring
 * :mod:`repro.core`     — campaign runtime, run store, metrics, figure/table reports
-* :mod:`repro.cli`      — ``python -m repro`` run / resume / report / list-corpora
+* :mod:`repro.cli`      — ``python -m repro`` run / mutate / resume / report / list-corpora
 """
 
-from . import analysis, bench, core, fpv, hdl, llm, mining, sim, sva
+from . import analysis, bench, core, fpv, hdl, llm, mining, mutate, sim, sva
 
 __version__ = "1.0.0"
 
@@ -29,6 +30,7 @@ __all__ = [
     "hdl",
     "llm",
     "mining",
+    "mutate",
     "sim",
     "sva",
     "__version__",

@@ -9,7 +9,7 @@ GoldMine-style miner's feature selection (:mod:`repro.mining.goldmine`).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Set
+from typing import List, Optional, Set
 
 import networkx as nx
 

@@ -483,6 +483,12 @@ register_corpus(
     "Explicit-state sweep designs driving the FPV kernel benchmark",
 )
 
+register_corpus(
+    "assertionbench-mutation",
+    lambda: AssertionBenchCorpus(_fpv_kernel_specs()),
+    "Mutation-analysis workload: designs whose mutants stay exhaustively checkable",
+)
+
 
 def load_corpus() -> AssertionBenchCorpus:
     """Load the full AssertionBench corpus (5 training + 100 test designs)."""

@@ -50,7 +50,7 @@ def sequence_detector(pattern: str = "1011") -> str:
     lines.append(f"            state <= {state_bits}'d{states};")
     lines.append("          else")
     lines.append(f"            state <= {state_bits}'d{final_fallback};")
-    lines.append(f"        default: state <= 0;")
+    lines.append("        default: state <= 0;")
     lines.append("      endcase")
     lines.append("    end")
     lines.append("  end")

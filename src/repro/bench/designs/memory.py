@@ -41,14 +41,14 @@ def fifo_mem(depth: int = 4, width: int = 4) -> str:
     for slot in range(depth):
         lines.append(f"          {ptr_bits}'d{slot}: mem{slot} <= data_in;")
     lines.append("        endcase")
-    lines.append(f"        wptr <= wptr + 1;")
+    lines.append("        wptr <= wptr + 1;")
     lines.append("      end")
     lines.append("      if (do_read) begin")
     lines.append("        case (rptr)")
     for slot in range(depth):
         lines.append(f"          {ptr_bits}'d{slot}: data_out <= mem{slot};")
     lines.append("        endcase")
-    lines.append(f"        rptr <= rptr + 1;")
+    lines.append("        rptr <= rptr + 1;")
     lines.append("      end")
     lines.append("      if (do_write && !do_read)")
     lines.append("        count <= count + 1;")
@@ -197,12 +197,12 @@ def register_file(registers: int = 4, width: int = 4) -> str:
     lines.append("    case (read_addr_a)")
     for index in range(registers):
         lines.append(f"      {addr_bits}'d{index}: read_data_a = r{index};")
-    lines.append(f"      default: read_data_a = 0;")
+    lines.append("      default: read_data_a = 0;")
     lines.append("    endcase")
     lines.append("    case (read_addr_b)")
     for index in range(registers):
         lines.append(f"      {addr_bits}'d{index}: read_data_b = r{index};")
-    lines.append(f"      default: read_data_b = 0;")
+    lines.append("      default: read_data_b = 0;")
     lines.append("    endcase")
     lines.append("  end")
     lines.append("endmodule")

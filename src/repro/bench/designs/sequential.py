@@ -315,7 +315,7 @@ endmodule
 def register_with_interrupt(width: int = 8) -> str:
     """Status register with interrupt masking (reg_int_sim / can_register analogue)."""
     lines = [
-        f"module reg_int(clk, rst, write_en, clear_en, mask_en, data_in, mask_in, status, irq);",
+        "module reg_int(clk, rst, write_en, clear_en, mask_en, data_in, mask_in, status, irq);",
         "  input clk, rst, write_en, clear_en, mask_en;",
         f"  input [{width - 1}:0] data_in, mask_in;",
         f"  output reg [{width - 1}:0] status;",

@@ -1,6 +1,6 @@
 """Command-line driver for durable evaluation campaigns.
 
-``python -m repro`` exposes four verbs:
+``python -m repro`` exposes five verbs:
 
 ``run``
     Start (or idempotently continue) a campaign in ``--run-dir``: pick a
@@ -15,9 +15,17 @@
     cells load from the outcome shards, and regenerated assertions of
     interrupted cells replay their verdicts from the persistent cache.
 
+``mutate``
+    Everything ``run`` does, followed by the mutation-analysis stage: every
+    FPV-passing assertion is re-verified against systematically corrupted
+    variants of its design (see :mod:`repro.mutate`) and scored by kill
+    rate.  Verdicts stream into the run directory's ``mutations.jsonl`` and
+    reruns resume.
+
 ``report``
     Rebuild the :class:`~repro.core.metrics.EvaluationMatrix` from a run
-    directory and render the paper's accuracy tables (no FPV work).
+    directory and render the paper's accuracy tables (no FPV work); with
+    ``--mutation``, render the kill-rate tables from ``mutations.jsonl``.
 
 ``list-corpora``
     Show every corpus registered in :mod:`repro.bench.corpus`.
@@ -26,13 +34,15 @@ Example::
 
     python -m repro run --run-dir runs/nightly --corpus assertionbench \
         --designs 32 --k 1,5 --workers 4
+    python -m repro mutate --run-dir runs/nightly --max-mutants 32
     python -m repro resume --run-dir runs/nightly
-    python -m repro report --run-dir runs/nightly
+    python -m repro report --run-dir runs/nightly --mutation
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional, Sequence, Tuple
 
@@ -40,12 +50,20 @@ from .bench.corpus import DEFAULT_CORPUS, SMOKE_CORPUS, get_corpus, list_corpora
 from .bench.icl import build_icl_examples
 from .bench.knowledge import DesignKnowledgeBase
 from .core.pipeline import PipelineConfig
-from .core.reports import accuracy_matrix_report, figure7_model_comparison
+from .core.reports import (
+    accuracy_matrix_report,
+    figure7_model_comparison,
+    mutation_category_report,
+    mutation_generation_report,
+    mutation_kill_report,
+    weak_assertion_report,
+)
 from .core.runtime import CampaignRuntime, campaign_config
 from .core.store import ResumeMismatchError, RunStore
-from .core.scheduler import default_workers
 from .llm.cots import SimulatedCotsLLM
 from .llm.profiles import COTS_PROFILES
+from .mutate import MutationCampaign, MutationConfig, MutationSummary, operator_names
+from .sim.compile import BACKENDS, VECTORIZED
 
 __all__ = ["main", "build_parser"]
 
@@ -100,6 +118,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="CI smoke mode: tiny corpus, two models, k=1",
     )
 
+    mutate_parser = sub.add_parser(
+        "mutate",
+        help="run (or resume) a campaign, then score passing assertions by kill rate",
+    )
+    add_campaign_arguments(mutate_parser)
+    mutate_parser.add_argument(
+        "--smoke", action="store_true",
+        help="CI smoke mode: tiny corpus, two models, k=1",
+    )
+    mutate_parser.add_argument(
+        "--backend", choices=BACKENDS, default=None,
+        help="force one FPV evaluation backend (default: REPRO_EVAL_BACKEND, "
+             "else vectorized-first with transparent compiled fallback)",
+    )
+    mutate_parser.add_argument(
+        "--operators", nargs="*", default=None, metavar="NAME",
+        help=f"mutation operators to apply (default: {' '.join(operator_names())})",
+    )
+    mutate_parser.add_argument(
+        "--max-mutants", type=int, default=None, metavar="N",
+        help="cap viable mutants per design, round-robin across operators "
+             "(default 64; 16 in --smoke)",
+    )
+    mutate_parser.add_argument(
+        "--no-semantic-filter", action="store_true",
+        help="keep mutants with no detectable difference from the golden design",
+    )
+
     resume_parser = sub.add_parser(
         "resume",
         help="strictly resume an interrupted campaign from its manifest",
@@ -110,6 +156,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     report_parser = sub.add_parser("report", help="render tables from a run directory")
     report_parser.add_argument("--run-dir", required=True)
+    report_parser.add_argument(
+        "--mutation", action="store_true",
+        help="render the mutation kill-rate tables from mutations.jsonl",
+    )
 
     sub.add_parser("list-corpora", help="list registered corpora")
     return parser
@@ -129,6 +179,7 @@ def _campaign(
     model_names: Optional[List[str]] = None,
     shard: Optional[Tuple[int, int]] = None,
     use_corrector: Optional[bool] = None,
+    mutation: Optional[MutationConfig] = None,
 ) -> int:
     corpus_name = corpus_name if corpus_name is not None else args.corpus
     k_values = k_values if k_values is not None else args.k
@@ -166,6 +217,8 @@ def _campaign(
     pipeline_config.use_syntax_corrector = use_corrector
     if args.workers is not None:
         pipeline_config.workers = max(1, args.workers)
+    if getattr(args, "backend", None):
+        pipeline_config.engine.backend = args.backend
 
     knowledge = DesignKnowledgeBase()
     examples = build_icl_examples(corpus, knowledge)
@@ -199,19 +252,47 @@ def _campaign(
         f"({already_done} already committed)"
     )
 
+    summary: Optional[MutationSummary] = None
     with CampaignRuntime(config=pipeline_config, store=store) as runtime:
         matrix = runtime.run_campaign(generators, k_values, designs, examples)
+        if mutation is not None:
+            campaign = MutationCampaign(runtime.service, store, mutation)
+            summary = campaign.run(
+                designs,
+                campaign.passed_assertions(store),
+                progress=lambda message: print(message),
+            )
         cache_stats = runtime.cache.stats()
     store.finish_run()
     store.close()
 
     print(accuracy_matrix_report(matrix, "Accuracy matrix").text)
+    if summary is not None:
+        _print_mutation_summary(summary)
     print(
         f"\nverdict cache: {cache_stats['entries']} entries, "
         f"{cache_stats['hits']} hits, {cache_stats['misses']} misses"
     )
     print(f"run directory: {store.root} (status: complete)")
     return 0
+
+
+def _print_mutation_summary(summary: MutationSummary) -> None:
+    counts = summary.outcome_counts()
+    print()
+    print(mutation_kill_report(summary).text)
+    print()
+    print(mutation_category_report(summary).text)
+    print()
+    print(weak_assertion_report(summary).text)
+    if summary.design_stats:
+        print()
+        print(mutation_generation_report(summary).text)
+    print(
+        f"\nmutation outcomes: {len(summary)} verdicts — "
+        f"{counts['killed']} killed, {counts['survived']} survived, "
+        f"{counts['timeout']} timeout, {counts['error']} error"
+    )
 
 
 def _resume(args: argparse.Namespace) -> int:
@@ -244,6 +325,31 @@ def _resume(args: argparse.Namespace) -> int:
     )
 
 
+def _mutate(args: argparse.Namespace) -> int:
+    limit = args.max_mutants
+    if limit is None:
+        limit = 16 if args.smoke else MutationConfig().limit_per_design
+    mutation = MutationConfig(
+        operators=list(args.operators) if args.operators is not None else None,
+        limit_per_design=max(1, limit) if limit is not None else None,
+        semantic_filter=not args.no_semantic_filter,
+    )
+    try:
+        # Fail fast on unknown operator names (the library is the single
+        # validator) before the generate/verify campaign spends any work.
+        mutation.identity()
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    if args.backend is None and not os.environ.get("REPRO_EVAL_BACKEND"):
+        # The issue-scale workload (mutants x assertions) is what the array
+        # kernel was built for; designs it cannot lower fall back to the
+        # compiled sweep transparently, and verdicts are backend-identical,
+        # so this never changes results or breaks resume.
+        args.backend = VECTORIZED
+    return _campaign(args, resume_only=False, mutation=mutation)
+
+
 def _report(args: argparse.Namespace) -> int:
     store = RunStore(args.run_dir)
     manifest = store.read_manifest()
@@ -256,6 +362,18 @@ def _report(args: argparse.Namespace) -> int:
         f"config={summary['config_hash']} cells={summary['completed_cells']} "
         f"verdicts={summary['persistent_verdicts']} resumes={summary['resumes']}"
     )
+    if args.mutation:
+        records, markers = store.load_mutation_log()
+        if not records:
+            print("no mutation verdicts recorded yet (run `python -m repro mutate`)")
+            return 0
+        _print_mutation_summary(
+            MutationSummary.from_records(
+                records,
+                {name: marker.get("stats", {}) for name, marker in markers.items()},
+            )
+        )
+        return 0
     matrix = store.load_matrix()
     if not matrix.model_names:
         print("no committed cells yet")
@@ -284,6 +402,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     try:
         if args.command == "run":
             return _campaign(args, resume_only=False)
+        if args.command == "mutate":
+            return _mutate(args)
         if args.command == "resume":
             return _resume(args)
         if args.command == "report":

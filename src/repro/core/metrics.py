@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional
 
-from ..fpv.result import ProofResult, ProofStatus
+from ..fpv.result import ProofResult
 
 PASS = "pass"
 CEX = "cex"

@@ -8,8 +8,8 @@ the paper's claim.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import List, Optional
 
 from ..llm.profiles import CODELLAMA_2, FINETUNED_PROFILES, GPT_35, GPT_4O, LLAMA3_70B
 from .metrics import EvaluationMatrix

@@ -8,7 +8,9 @@ and a plain-text rendering (what the benchmark harness prints), covering:
 * Figure 6  — per-model accuracy at 1-shot vs 5-shot,
 * Figure 7  — cross-model comparison per k,
 * Figure 9  — fine-tuned model accuracy,
-* the ICE statistics quoted in Section III/IV (2-10 assertions, avg 4.8).
+* the ICE statistics quoted in Section III/IV (2-10 assertions, avg 4.8),
+* the mutation-analysis tables (kill rate per assertion, score distribution
+  per corpus category, and the ranked weak-assertion list).
 """
 
 from __future__ import annotations
@@ -206,6 +208,123 @@ def corpus_summary(corpus: AssertionBenchCorpus) -> TableReport:
     )
     table.text = _format_table(table.title, table.headers, rows)
     return table
+
+
+# ---------------------------------------------------------------------------
+# Mutation analysis — assertion quality by kill rate
+# ---------------------------------------------------------------------------
+
+
+def _rate(value: Optional[float]) -> str:
+    return "n/a" if value is None else f"{value:.3f}"
+
+
+def mutation_kill_report(summary, title: str = "Mutation kill rate per assertion") -> TableReport:
+    """Per-assertion mutation outcomes (``summary`` is a MutationSummary)."""
+    rows = []
+    for score in summary.scores():
+        rows.append(
+            [
+                score.design_name,
+                _clip(score.assertion, 48),
+                str(score.killed),
+                str(score.survived),
+                str(score.timeout),
+                str(score.error),
+                _rate(score.kill_rate),
+            ]
+        )
+    table = TableReport(
+        title=title,
+        headers=["design", "assertion", "killed", "survived", "timeout", "error", "kill rate"],
+        rows=rows,
+    )
+    table.text = _format_table(table.title, table.headers, rows)
+    return table
+
+
+def mutation_category_report(
+    summary, title: str = "Mutation score distribution per corpus category"
+) -> TableReport:
+    """Kill-rate distribution per design category."""
+    rows = []
+    for category, entry in summary.category_distribution().items():
+        rows.append(
+            [
+                category,
+                str(int(entry["assertions"])),
+                str(int(entry["undecided"])),
+                _rate(entry.get("mean")),
+                _rate(entry.get("min")),
+                _rate(entry.get("median")),
+                _rate(entry.get("max")),
+            ]
+        )
+    table = TableReport(
+        title=title,
+        headers=["category", "# assertions", "undecided", "mean", "min", "median", "max"],
+        rows=rows,
+    )
+    table.text = _format_table(table.title, table.headers, rows)
+    return table
+
+
+def mutation_generation_report(
+    summary, title: str = "Mutant generation per design"
+) -> TableReport:
+    """Where the mutant budget went: sites found vs dropped vs scored."""
+    rows = []
+    for design_name, stats in sorted(summary.design_stats.items()):
+        if not stats:
+            continue
+        rows.append(
+            [
+                design_name,
+                str(stats.get("sites", 0)),
+                str(stats.get("viable", 0)),
+                str(stats.get("stillborn", 0)),
+                str(stats.get("equivalent", 0)),
+                str(stats.get("truncated", 0)),
+            ]
+        )
+    table = TableReport(
+        title=title,
+        headers=["design", "sites", "viable", "stillborn", "equivalent", "truncated"],
+        rows=rows,
+    )
+    table.text = _format_table(table.title, table.headers, rows)
+    return table
+
+
+def weak_assertion_report(
+    summary,
+    limit: int = 10,
+    min_mutants: int = 3,
+    title: str = "Weakest assertions by kill rate",
+) -> TableReport:
+    """Ranked list of the assertions that let the most mutants escape."""
+    rows = []
+    for rank, score in enumerate(summary.weak_assertions(limit, min_mutants), start=1):
+        rows.append(
+            [
+                str(rank),
+                score.design_name,
+                _clip(score.assertion, 48),
+                f"{score.killed}/{score.decided}",
+                _rate(score.kill_rate),
+            ]
+        )
+    table = TableReport(
+        title=title,
+        headers=["rank", "design", "assertion", "killed/decided", "kill rate"],
+        rows=rows,
+    )
+    table.text = _format_table(table.title, table.headers, rows)
+    return table
+
+
+def _clip(text: str, width: int) -> str:
+    return text if len(text) <= width else text[: width - 1] + "…"
 
 
 def accuracy_matrix_report(matrix: EvaluationMatrix, title: str) -> TableReport:

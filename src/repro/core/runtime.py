@@ -110,10 +110,15 @@ def campaign_config(
     Everything that changes campaign *results* is included — models, k
     values, design sources, engine budgets, decoding, corrector — while
     throughput-only knobs (worker counts) are deliberately left out so a
-    resume on different hardware still matches.
+    resume on different hardware still matches.  The evaluation backend is
+    excluded for the same reason: backends are bit-identical by contract
+    (enforced by the backend-equivalence suite), so e.g. ``repro mutate
+    --backend vectorized`` may resume a campaign that ran compiled.
     """
     from ..bench.corpus import source_fingerprint
 
+    engine = dataclasses.asdict(config.engine)
+    engine.pop("backend", None)
     payload: Dict = {
         "models": [generator.name for generator in generators],
         "k_values": list(k_values),
@@ -121,7 +126,7 @@ def campaign_config(
             {"name": design.name, "source": source_fingerprint(design.source)}
             for design in designs
         ],
-        "engine": dataclasses.asdict(config.engine),
+        "engine": engine,
         "decoding": dataclasses.asdict(config.decoding),
         "use_syntax_corrector": (
             config.use_syntax_corrector if use_corrector is None else use_corrector

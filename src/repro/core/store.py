@@ -27,6 +27,14 @@ prefix of a run is a valid, resumable state:
     loader ignores; resume re-runs the cell and its verdicts replay from the
     persistent cache.
 
+``mutations.jsonl``
+    The mutation campaign's verdict stream: one line per
+    (design, mutant, assertion) outcome, plus per-design completion markers
+    (``kind: "design"``) appended once every mutant of a design has been
+    scored.  Keys are content-addressed — golden design fingerprint +
+    operator + site + normalised assertion text — so mutation reruns resume
+    (see :mod:`repro.mutate.campaign`).
+
 All appends are flushed line-by-line; markers are the atomicity boundary.
 """
 
@@ -69,6 +77,7 @@ _MANIFEST_NAME = "manifest.json"
 _VERDICTS_NAME = "verdicts.jsonl"
 _REACHABILITY_NAME = "reachability.jsonl"
 _COMPLETED_NAME = "completed.jsonl"
+_MUTATIONS_NAME = "mutations.jsonl"
 _OUTCOMES_DIR = "outcomes"
 
 
@@ -474,7 +483,10 @@ class RunStore:
                     f"run directory {self.root} has no manifest to resume"
                 )
             manifest = {
-                "version": 1,
+                # Version 2: the engine backend left the config hash (it is
+                # semantics-neutral).  Version-1 run directories therefore
+                # hash differently and resume only into a fresh --run-dir.
+                "version": 2,
                 "config_hash": digest,
                 "config": config,
                 "status": "running",
@@ -631,6 +643,74 @@ class RunStore:
             evaluation.outcomes.extend(self.load_marked(marker))
             sweep.designs.append(evaluation)
         return matrix
+
+    # -- the mutation log ---------------------------------------------------------
+
+    @property
+    def mutations_path(self) -> Path:
+        return self.root / _MUTATIONS_NAME
+
+    def append_mutation_records(self, records: Sequence) -> None:
+        """Append mutation verdict records (``MutationRecord`` instances)."""
+        self._append_lines(
+            self.mutations_path, [json.dumps(record.to_json()) for record in records]
+        )
+
+    def append_mutation_marker(
+        self,
+        design_name: str,
+        fingerprint: str,
+        assertions: Sequence[str],
+        stats: Dict[str, int],
+        config: Optional[Dict] = None,
+        mutants: Optional[Sequence[str]] = None,
+    ) -> None:
+        """Commit one design's mutation sweep (all its records are appended).
+
+        ``config`` is the mutation configuration the sweep ran under and
+        ``mutants`` the sweep's mutant addresses (``operator@site``); a
+        rerun only honours the marker when its config matches, and rebuilds
+        the sweep's summary from exactly those addresses.
+        """
+        self._append_lines(
+            self.mutations_path,
+            [
+                json.dumps(
+                    {
+                        "kind": "design",
+                        "design": design_name,
+                        "fingerprint": fingerprint,
+                        "assertions": list(assertions),
+                        "stats": dict(stats),
+                        "config": config,
+                        "mutants": list(mutants) if mutants is not None else None,
+                    }
+                )
+            ],
+        )
+
+    def load_mutation_log(self):
+        """Replay ``mutations.jsonl``: (verdict records, per-design markers).
+
+        The last marker per design wins; verdict records deduplicate by
+        content key with the last write winning, matching every other log in
+        the store.
+        """
+        from ..mutate.campaign import MutationRecord
+
+        records: Dict[tuple, MutationRecord] = {}
+        markers: Dict[str, Dict] = {}
+        for data in _read_jsonl(self.mutations_path):
+            kind = data.get("kind", "verdict")
+            try:
+                if kind == "design":
+                    markers[data["design"]] = data
+                else:
+                    record = MutationRecord.from_json(data)
+                    records[record.key] = record
+            except (KeyError, TypeError, ValueError):
+                continue  # torn or legacy record; rescoring is always safe
+        return list(records.values()), markers
 
     # -- diagnostics -------------------------------------------------------------
 

@@ -13,7 +13,7 @@ FPV engine interpret directly:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set
 
 from . import ast
 from .errors import ElaborationError, WidthError

@@ -1,0 +1,122 @@
+"""Render a parsed module back to Verilog source text.
+
+The mutation subsystem (:mod:`repro.mutate`) edits the AST of an elaborated
+design and needs the result as *source text* again: a mutant is a first-class
+:class:`~repro.hdl.design.Design`, content-addressed by its source
+fingerprint, so verdict/reachability caches, worker pickling, and the run
+store all treat it exactly like a golden design.
+
+The renderer targets the same Verilog subset the parser accepts, so
+``parse_source(render_module(module))`` always succeeds, and for an
+unmutated module it elaborates to the same :class:`~repro.hdl.elaborate.RtlModel`
+(same signals, widths, processes, and semantics — formatting and numeric
+bases are canonicalised, e.g. ``8'hFF`` renders as ``8'd255``).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from . import ast
+
+__all__ = ["render_module", "render_stmt", "render_expr"]
+
+_INDENT = "  "
+
+
+def render_expr(expr: ast.Expr) -> str:
+    """Render one expression (the AST nodes' ``__str__`` is already canonical)."""
+    return str(expr)
+
+
+def _render_range(rng: ast.Range) -> str:
+    return f"[{rng.msb}:{rng.lsb}]"
+
+
+def _decl_suffix(rng, names: List[str]) -> str:
+    prefix = f" {_render_range(rng)}" if rng is not None else ""
+    return f"{prefix} {', '.join(names)};"
+
+
+def render_stmt(stmt: ast.Stmt, indent: int = 0) -> List[str]:
+    """Render one procedural statement as a list of source lines."""
+    pad = _INDENT * indent
+    if isinstance(stmt, ast.Block):
+        if not stmt.statements:
+            return [f"{pad};"]
+        lines = [f"{pad}begin"]
+        for inner in stmt.statements:
+            lines.extend(render_stmt(inner, indent + 1))
+        lines.append(f"{pad}end")
+        return lines
+    if isinstance(stmt, ast.Assignment):
+        op = "=" if stmt.blocking else "<="
+        return [f"{pad}{stmt.target} {op} {stmt.value};"]
+    if isinstance(stmt, ast.If):
+        lines = [f"{pad}if ({stmt.condition})"]
+        lines.extend(render_stmt(stmt.then_body, indent + 1))
+        if stmt.else_body is not None:
+            lines.append(f"{pad}else")
+            lines.extend(render_stmt(stmt.else_body, indent + 1))
+        return lines
+    if isinstance(stmt, ast.Case):
+        keyword = "casez" if stmt.wildcard else "case"
+        lines = [f"{pad}{keyword} ({stmt.subject})"]
+        for item in stmt.items:
+            labels = ", ".join(str(label) for label in item.labels)
+            lines.append(f"{pad}{_INDENT}{labels}:")
+            lines.extend(render_stmt(item.body, indent + 2))
+        if stmt.default is not None:
+            lines.append(f"{pad}{_INDENT}default:")
+            lines.extend(render_stmt(stmt.default, indent + 2))
+        lines.append(f"{pad}endcase")
+        return lines
+    raise TypeError(f"cannot render statement {stmt!r}")
+
+
+def _render_sensitivity(sens: ast.Sensitivity) -> str:
+    if sens.star:
+        return "@(*)"
+    parts = [f"{edge.edge} {edge.signal}" for edge in sens.edges]
+    parts.extend(sens.levels)
+    return f"@({' or '.join(parts)})"
+
+
+def _render_item(item: ast.ModuleItem) -> List[str]:
+    if isinstance(item, ast.PortDecl):
+        return [f"{_INDENT}{item.direction}{_decl_suffix(item.range, item.names)}"]
+    if isinstance(item, ast.NetDecl):
+        signed = " signed" if item.signed else ""
+        if item.kind == "integer":
+            return [f"{_INDENT}integer {', '.join(item.names)};"]
+        return [f"{_INDENT}{item.kind}{signed}{_decl_suffix(item.range, item.names)}"]
+    if isinstance(item, ast.ParamDecl):
+        keyword = "localparam" if item.local else "parameter"
+        return [f"{_INDENT}{keyword} {item.name} = {item.value};"]
+    if isinstance(item, ast.ContinuousAssign):
+        return [f"{_INDENT}assign {item.target} = {item.value};"]
+    if isinstance(item, ast.AlwaysBlock):
+        lines = [f"{_INDENT}always {_render_sensitivity(item.sensitivity)}"]
+        lines.extend(render_stmt(item.body, 2))
+        return lines
+    if isinstance(item, ast.InitialBlock):
+        lines = [f"{_INDENT}initial"]
+        lines.extend(render_stmt(item.body, 2))
+        return lines
+    raise TypeError(f"cannot render module item {item!r}")
+
+
+def render_module(module: ast.Module) -> str:
+    """Render a module AST to parseable Verilog source text."""
+    header = ""
+    if module.header_params:
+        params = ", ".join(
+            f"parameter {decl.name} = {decl.value}" for decl in module.header_params
+        )
+        header = f" #({params})"
+    ports = f"({', '.join(module.port_order)})" if module.port_order else "()"
+    lines = [f"module {module.name}{header}{ports};"]
+    for item in module.items:
+        lines.extend(_render_item(item))
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"

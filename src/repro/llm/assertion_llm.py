@@ -20,13 +20,12 @@ with no training data the model behaves exactly like its foundation profile.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ..bench.knowledge import DesignKnowledgeBase
 from ..hdl.design import Design
-from ..sva.model import NON_OVERLAPPED, OVERLAPPED, Assertion
+from ..sva.model import OVERLAPPED, Assertion
 from .cots import GenerationContext, SimulatedCotsLLM
 from .decoding import DecodingConfig, GenerationResult
 from .profiles import FINETUNED_PROFILES, ModelProfile, OutcomeMix

@@ -21,7 +21,7 @@ from typing import Dict, List, Optional, Sequence
 from ..bench.knowledge import DesignKnowledgeBase
 from ..hdl import ast
 from ..hdl.design import Design
-from ..sva.model import NON_OVERLAPPED, OVERLAPPED, Assertion, SequenceTerm
+from ..sva.model import Assertion, SequenceTerm
 from .decoding import DecodingConfig, GenerationResult, enforce_token_limit
 from .profiles import CEX, SYNTAX_ERROR, VALID, ModelProfile
 from .prompt import Prompt

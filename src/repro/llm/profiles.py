@@ -28,8 +28,8 @@ Calibration anchors used below:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
 
 #: Outcome categories a generated assertion is aimed at.
 VALID = "valid"

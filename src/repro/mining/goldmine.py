@@ -15,7 +15,6 @@ import math
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
-from ..hdl import ast
 from ..hdl.design import Design
 from ..sim.trace import Trace
 from ..sva.model import NON_OVERLAPPED, OVERLAPPED, Assertion, SequenceTerm

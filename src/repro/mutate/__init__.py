@@ -1,0 +1,49 @@
+"""Mutation-based assertion quality scoring.
+
+This package measures how good generated SVA assertions actually are at
+*catching bugs* — not merely at passing FPV on the golden design.  It
+systematically corrupts each design with a library of RTL mutation operators
+(:mod:`repro.mutate.operators`), drops stillborn and provably-equivalent
+mutants (:mod:`repro.mutate.semantic`), re-verifies every FPV-passing
+assertion against every viable mutant through the existing verification
+scheduler, and scores each assertion by its *kill rate* — the fraction of
+mutants on which the assertion produces a counterexample
+(:mod:`repro.mutate.campaign`).
+"""
+
+from .campaign import (
+    MutationCampaign,
+    MutationConfig,
+    MutationRecord,
+    MutationSummary,
+    classify_outcome,
+)
+from .operators import (
+    DEFAULT_OPERATORS,
+    Mutant,
+    MutantStats,
+    MutationOperator,
+    apply_mutation,
+    enumerate_mutants,
+    mutation_sites,
+    operator_names,
+)
+from .semantic import DifferenceWitness, semantic_difference
+
+__all__ = [
+    "DEFAULT_OPERATORS",
+    "DifferenceWitness",
+    "Mutant",
+    "MutantStats",
+    "MutationCampaign",
+    "MutationConfig",
+    "MutationOperator",
+    "MutationRecord",
+    "MutationSummary",
+    "apply_mutation",
+    "classify_outcome",
+    "enumerate_mutants",
+    "mutation_sites",
+    "operator_names",
+    "semantic_difference",
+]

@@ -1,0 +1,606 @@
+"""Mutation operator library over the elaborated design AST.
+
+Each operator systematically corrupts one *site* of a design — one binary
+operator occurrence, one constant, one branch condition, one signal driver,
+one reset guard — producing a mutant that still parses and elaborates.  A
+mutant is rendered back to Verilog source (:mod:`repro.hdl.render`) and
+rebuilt as a first-class :class:`~repro.hdl.design.Design`, so it is
+content-addressed by its source fingerprint exactly like a golden design:
+FPV verdict caches, per-design reachability caches, and worker dispatch all
+apply unchanged.
+
+The default operator set is the classic RTL mutation battery:
+
+* ``bin-swap``      — operator swap (``&`` ↔ ``|``, ``==`` ↔ ``!=``,
+  ``&&`` ↔ ``||``, ``+`` ↔ ``-``, ``<`` ↔ ``<=``, ``>`` ↔ ``>=``),
+* ``const-offset``  — off-by-one on constants (wrapped to the literal width),
+* ``negate-cond``   — negated branch conditions,
+* ``stuck-driver``  — stuck-at-0 / stuck-at-1 signal drivers,
+* ``reset-flip``    — reset-polarity flip on the asynchronous reset guard.
+
+Site enumeration is deterministic (module item order, then statement order,
+then a pre-order walk of each expression), so ``(operator, site)`` is a
+stable address for one mutation of one design and results keyed by
+``(design fingerprint, operator, site)`` are cacheable across runs.
+
+:func:`enumerate_mutants` applies every operator at every site and filters
+out *stillborn* mutants (the mutated source no longer elaborates or cannot
+be stepped) and *equivalent* mutants (no semantic difference from the golden
+design is detectable on any reachable state — see
+:func:`repro.mutate.semantic.semantic_difference`), so every mutant it
+returns is killable in principle.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..hdl import ast
+from ..hdl.design import Design
+from ..hdl.elaborate import RtlModel
+from ..hdl.errors import HdlError
+from ..hdl.render import render_module
+from ..sim.eval import EvalError
+from .semantic import DifferenceWitness, SemanticContext
+
+__all__ = [
+    "DEFAULT_OPERATORS",
+    "Mutant",
+    "MutantStats",
+    "MutationOperator",
+    "enumerate_mutants",
+    "resolve_operators",
+    "mutation_sites",
+    "operator_names",
+]
+
+
+#: Binary operator swap table (each entry is its own operator *direction*,
+#: so a ``&`` site and a ``|`` site never collide in the site numbering).
+_BINARY_SWAPS: Dict[str, str] = {
+    "&": "|",
+    "|": "&",
+    "&&": "||",
+    "||": "&&",
+    "==": "!=",
+    "!=": "==",
+    "+": "-",
+    "-": "+",
+    "<": "<=",
+    "<=": "<",
+    ">": ">=",
+    ">=": ">",
+}
+
+
+@dataclass(frozen=True)
+class MutationSite:
+    """A stable address for one possible mutation of one design."""
+
+    operator: str
+    index: int
+    description: str
+
+
+@dataclass
+class Mutant:
+    """One viable mutant: a corrupted but elaborating variant of a design."""
+
+    golden_name: str
+    operator: str
+    site: int
+    description: str
+    design: Design
+    #: Proof that the mutant differs from the golden design (present whenever
+    #: the semantic filter ran; ``None`` only when filtering was disabled).
+    witness: Optional[DifferenceWitness] = None
+
+    @property
+    def mutant_id(self) -> str:
+        """Content-addressable id component: operator plus site index."""
+        return f"{self.operator}@{self.site}"
+
+
+@dataclass
+class MutantStats:
+    """Accounting of one :func:`enumerate_mutants` pass over a design."""
+
+    sites: int = 0
+    stillborn: int = 0
+    equivalent: int = 0
+    viable: int = 0
+    truncated: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "sites": self.sites,
+            "stillborn": self.stillborn,
+            "equivalent": self.equivalent,
+            "viable": self.viable,
+            "truncated": self.truncated,
+        }
+
+
+# ---------------------------------------------------------------------------
+# The traversal session
+# ---------------------------------------------------------------------------
+
+
+class _Session:
+    """One deterministic walk of a module for one operator.
+
+    With ``target=None`` the walk only enumerates candidate sites; with a
+    target index it additionally applies that candidate (the walk runs over a
+    deep copy owned by the caller, statements are edited in place and
+    expressions rebuilt functionally).
+    """
+
+    def __init__(self, model: RtlModel, target: Optional[int]):
+        self.model = model
+        self.target = target
+        self.descriptions: List[str] = []
+        self.applied = False
+
+    def offer(self, description: str) -> bool:
+        index = len(self.descriptions)
+        self.descriptions.append(description)
+        if self.target is not None and index == self.target and not self.applied:
+            self.applied = True
+            return True
+        return False
+
+
+class MutationOperator:
+    """Base class: one way of corrupting a design, site by site.
+
+    Subclasses override :meth:`expr_candidates` (called at every mutable
+    expression node, returning ``(description, replacement)`` pairs) and/or
+    :meth:`stmt_candidates` (called at every statement, returning
+    ``(description, apply-thunk)`` pairs for in-place edits).
+    """
+
+    name: str = ""
+
+    def expr_candidates(self, expr: ast.Expr, session: _Session) -> List[Tuple[str, ast.Expr]]:
+        return []
+
+    def stmt_candidates(
+        self, stmt: ast.Stmt, session: _Session, is_reset_guard: bool
+    ) -> List[Tuple[str, Callable[[], None]]]:
+        return []
+
+
+# ---------------------------------------------------------------------------
+# Operators
+# ---------------------------------------------------------------------------
+
+
+class BinarySwap(MutationOperator):
+    """Swap one binary operator occurrence for its classic counterpart."""
+
+    name = "bin-swap"
+
+    def expr_candidates(self, expr, session):
+        if isinstance(expr, ast.Binary) and expr.op in _BINARY_SWAPS:
+            swapped = _BINARY_SWAPS[expr.op]
+            return [
+                (
+                    f"swap {expr.op!r} -> {swapped!r} in {expr}",
+                    ast.Binary(op=swapped, left=expr.left, right=expr.right),
+                )
+            ]
+        return []
+
+
+class ConstantOffByOne(MutationOperator):
+    """Perturb one integer literal by +/-1 (wrapped to its declared width)."""
+
+    name = "const-offset"
+
+    def expr_candidates(self, expr, session):
+        if not isinstance(expr, ast.Number):
+            return []
+        candidates = []
+        emitted = set()
+        for delta in (1, -1):
+            value = expr.value + delta
+            if expr.width is not None:
+                value &= (1 << expr.width) - 1
+            elif value < 0:
+                continue
+            if value == expr.value or value in emitted:
+                # Width-1 literals wrap +1 and -1 to the same value; one
+                # mutant per distinct resulting constant.
+                continue
+            emitted.add(value)
+            candidates.append(
+                (
+                    f"constant {expr} -> {value}",
+                    ast.Number(value=value, width=expr.width),
+                )
+            )
+        return candidates
+
+
+class NegateCondition(MutationOperator):
+    """Negate one branch condition (reset guards belong to ``reset-flip``)."""
+
+    name = "negate-cond"
+
+    def stmt_candidates(self, stmt, session, is_reset_guard):
+        if not isinstance(stmt, ast.If) or is_reset_guard:
+            return []
+
+        def apply(target: ast.If = stmt) -> None:
+            target.condition = ast.Unary(op="!", operand=target.condition)
+
+        return [(f"negate branch condition ({stmt.condition})", apply)]
+
+
+class StuckDriver(MutationOperator):
+    """Replace one signal driver's value with a stuck-at-0/1 constant."""
+
+    name = "stuck-driver"
+
+    def stmt_candidates(self, stmt, session, is_reset_guard):
+        if not isinstance(stmt, ast.Assignment):
+            return []
+        return self._driver_candidates(stmt.target, stmt.value, session, stmt)
+
+    def assign_candidates(
+        self, item: ast.ContinuousAssign, session: _Session
+    ) -> List[Tuple[str, Callable[[], None]]]:
+        return self._driver_candidates(item.target, item.value, session, item)
+
+    def _driver_candidates(self, target, value, session, node):
+        width = _target_width(target, session.model)
+        candidates = []
+        for stuck in (0, 1):
+            stuck_value = 0 if stuck == 0 else (1 << width) - 1 if width else 1
+            if isinstance(value, ast.Number) and value.value == stuck_value:
+                continue  # already that constant: equivalent by construction
+
+            def apply(node=node, stuck_value=stuck_value, width=width) -> None:
+                node.value = ast.Number(value=stuck_value, width=width)
+
+            candidates.append((f"stuck-at-{stuck} driver for {target}", apply))
+        return candidates
+
+
+class ResetPolarityFlip(MutationOperator):
+    """Invert the asynchronous reset guard of one sequential process."""
+
+    name = "reset-flip"
+
+    def stmt_candidates(self, stmt, session, is_reset_guard):
+        if not isinstance(stmt, ast.If) or not is_reset_guard:
+            return []
+
+        def apply(target: ast.If = stmt) -> None:
+            target.condition = ast.Unary(op="!", operand=target.condition)
+
+        return [(f"flip reset polarity ({stmt.condition})", apply)]
+
+
+DEFAULT_OPERATORS: Tuple[MutationOperator, ...] = (
+    BinarySwap(),
+    ConstantOffByOne(),
+    NegateCondition(),
+    StuckDriver(),
+    ResetPolarityFlip(),
+)
+
+
+def operator_names() -> List[str]:
+    return [operator.name for operator in DEFAULT_OPERATORS]
+
+
+# ---------------------------------------------------------------------------
+# Traversal
+# ---------------------------------------------------------------------------
+
+
+def _target_width(expr: ast.Expr, model: RtlModel) -> Optional[int]:
+    """Declared width of an assignment target, or None when unresolvable."""
+    if isinstance(expr, ast.Identifier):
+        signal = model.signals.get(expr.name)
+        return signal.width if signal is not None else None
+    if isinstance(expr, ast.BitSelect):
+        return 1
+    if isinstance(expr, ast.PartSelect):
+        try:
+            msb = _const_value(expr.msb, model)
+            lsb = _const_value(expr.lsb, model)
+        except ValueError:
+            return None
+        return abs(msb - lsb) + 1
+    if isinstance(expr, ast.Concat):
+        total = 0
+        for part in expr.parts:
+            width = _target_width(part, model)
+            if width is None:
+                return None
+            total += width
+        return total
+    return None
+
+
+def _const_value(expr: ast.Expr, model: RtlModel) -> int:
+    if isinstance(expr, ast.Number):
+        return expr.value
+    if isinstance(expr, ast.Identifier) and expr.name in model.parameters:
+        return model.parameters[expr.name]
+    raise ValueError(f"not a constant: {expr}")
+
+
+def _map_expr(expr: ast.Expr, operator: MutationOperator, session: _Session) -> ast.Expr:
+    """Pre-order walk offering candidates, rebuilding on application.
+
+    Select indexes, part-select bounds, and replication counts are copied
+    verbatim rather than recursed into: mutations there routinely produce
+    out-of-range selects or zero-width replications, i.e. stillborn mutants.
+    """
+    for description, replacement in operator.expr_candidates(expr, session):
+        if session.offer(description):
+            return replacement
+    if isinstance(expr, ast.Unary):
+        return ast.Unary(op=expr.op, operand=_map_expr(expr.operand, operator, session))
+    if isinstance(expr, ast.Binary):
+        left = _map_expr(expr.left, operator, session)
+        right = _map_expr(expr.right, operator, session)
+        return ast.Binary(op=expr.op, left=left, right=right)
+    if isinstance(expr, ast.Ternary):
+        return ast.Ternary(
+            cond=_map_expr(expr.cond, operator, session),
+            then=_map_expr(expr.then, operator, session),
+            otherwise=_map_expr(expr.otherwise, operator, session),
+        )
+    if isinstance(expr, ast.BitSelect):
+        return ast.BitSelect(
+            base=_map_expr(expr.base, operator, session),
+            index=expr.index,
+        )
+    if isinstance(expr, ast.PartSelect):
+        return ast.PartSelect(
+            base=_map_expr(expr.base, operator, session),
+            msb=expr.msb,
+            lsb=expr.lsb,
+        )
+    if isinstance(expr, ast.Concat):
+        return ast.Concat(
+            parts=tuple(_map_expr(part, operator, session) for part in expr.parts)
+        )
+    if isinstance(expr, ast.Replicate):
+        return ast.Replicate(
+            count=expr.count,
+            value=_map_expr(expr.value, operator, session),
+        )
+    return expr
+
+
+def _walk_stmt(
+    stmt: ast.Stmt,
+    operator: MutationOperator,
+    session: _Session,
+    reset_guard: Optional[ast.If],
+) -> None:
+    # Pure enumeration (target=None) must leave the walked AST untouched —
+    # it runs over the *golden* module, not a copy — so rebuilt expressions
+    # are only written back when this session is actually applying a site.
+    applying = session.target is not None
+    for description, apply in operator.stmt_candidates(stmt, session, stmt is reset_guard):
+        if session.offer(description):
+            apply()
+            return  # the subtree was rewritten wholesale; nothing left to visit
+    if isinstance(stmt, ast.Block):
+        for inner in stmt.statements:
+            _walk_stmt(inner, operator, session, reset_guard)
+    elif isinstance(stmt, ast.Assignment):
+        value = _map_expr(stmt.value, operator, session)
+        if applying:
+            stmt.value = value
+    elif isinstance(stmt, ast.If):
+        condition = _map_expr(stmt.condition, operator, session)
+        if applying:
+            stmt.condition = condition
+        _walk_stmt(stmt.then_body, operator, session, reset_guard)
+        if stmt.else_body is not None:
+            _walk_stmt(stmt.else_body, operator, session, reset_guard)
+    elif isinstance(stmt, ast.Case):
+        subject = _map_expr(stmt.subject, operator, session)
+        if applying:
+            stmt.subject = subject
+        for item in stmt.items:
+            labels = [_map_expr(label, operator, session) for label in item.labels]
+            if applying:
+                item.labels = labels
+            _walk_stmt(item.body, operator, session, reset_guard)
+        if stmt.default is not None:
+            _walk_stmt(stmt.default, operator, session, reset_guard)
+
+
+def _first_if(stmt: ast.Stmt) -> Optional[ast.If]:
+    body = stmt
+    while isinstance(body, ast.Block) and body.statements:
+        body = body.statements[0]
+    return body if isinstance(body, ast.If) else None
+
+
+def _reset_guard_of(item: ast.AlwaysBlock) -> Optional[ast.If]:
+    """The leading reset-test ``if`` of an async-reset process, if any.
+
+    Mirrors the classification of :func:`repro.hdl.elaborate._build_seq_process`:
+    with multiple sensitivity edges, the leading ``if`` is the reset guard
+    when it tests one of the edge signals (which elaboration then treats as
+    the asynchronous reset).
+    """
+    edges = item.sensitivity.edges
+    if len(edges) < 2:
+        return None
+    guard = _first_if(item.body)
+    if guard is None:
+        return None
+    condition_signals = guard.condition.signals()
+    if any(edge.signal in condition_signals for edge in edges):
+        return guard
+    return None
+
+
+def _run_session(
+    module: ast.Module, model: RtlModel, operator: MutationOperator, target: Optional[int]
+) -> _Session:
+    session = _Session(model, target)
+    for item in module.items:
+        if isinstance(item, ast.ContinuousAssign):
+            applied = False
+            if isinstance(operator, StuckDriver):
+                for description, apply in operator.assign_candidates(item, session):
+                    if session.offer(description):
+                        apply()
+                        applied = True
+                        break
+            if not applied:
+                value = _map_expr(item.value, operator, session)
+                if target is not None:
+                    item.value = value
+        elif isinstance(item, ast.AlwaysBlock):
+            _walk_stmt(item.body, operator, session, _reset_guard_of(item))
+    return session
+
+
+# ---------------------------------------------------------------------------
+# Public API
+# ---------------------------------------------------------------------------
+
+
+def resolve_operators(names: Optional[Sequence[str]] = None) -> List[MutationOperator]:
+    """Resolve operator names to instances (None = the default battery).
+
+    The single validator for operator names: raises ``KeyError`` naming the
+    unknown operators and the available set.
+    """
+    if names is None:
+        return list(DEFAULT_OPERATORS)
+    by_name = {operator.name: operator for operator in DEFAULT_OPERATORS}
+    unknown = [name for name in names if name not in by_name]
+    if unknown:
+        raise KeyError(f"unknown mutation operator(s) {unknown}; available: {sorted(by_name)}")
+    return [by_name[name] for name in names]
+
+
+def mutation_sites(
+    design: Design, operators: Optional[Sequence[str]] = None
+) -> List[MutationSite]:
+    """Enumerate every candidate mutation site of ``design``."""
+    sites: List[MutationSite] = []
+    for operator in resolve_operators(operators):
+        session = _run_session(design.module, design.model, operator, target=None)
+        sites.extend(
+            MutationSite(operator.name, index, description)
+            for index, description in enumerate(session.descriptions)
+        )
+    return sites
+
+
+def apply_mutation(design: Design, operator_name: str, site: int) -> Design:
+    """Build the mutant design for one ``(operator, site)`` address.
+
+    Raises :class:`IndexError` for an out-of-range site and propagates parse
+    or elaboration errors for stillborn mutants.
+    """
+    (operator,) = resolve_operators([operator_name])
+    module = copy.deepcopy(design.module)
+    session = _run_session(module, design.model, operator, target=site)
+    if not session.applied:
+        raise IndexError(
+            f"{operator_name} has {len(session.descriptions)} sites in "
+            f"{design.name}, requested {site}"
+        )
+    return Design.from_source(
+        render_module(module),
+        name=f"{design.name}~{operator_name}@{site}",
+        functionality=design.functionality,
+        category=design.category,
+    )
+
+
+def _interleave(groups: List[List[MutationSite]]) -> Iterator[MutationSite]:
+    """Round-robin across operators so a cap keeps operator diversity."""
+    cursors = [0] * len(groups)
+    remaining = sum(len(group) for group in groups)
+    while remaining:
+        for position, group in enumerate(groups):
+            if cursors[position] < len(group):
+                yield group[cursors[position]]
+                cursors[position] += 1
+                remaining -= 1
+
+
+def enumerate_mutants(
+    design: Design,
+    operators: Optional[Sequence[str]] = None,
+    *,
+    semantic_filter: bool = True,
+    limit: Optional[int] = None,
+) -> Tuple[List[Mutant], MutantStats]:
+    """Generate the viable mutants of ``design``.
+
+    Every returned mutant elaborates and — when ``semantic_filter`` is on
+    (the default) — provably differs from the golden design on at least one
+    reachable state (its :class:`DifferenceWitness` says where).  Stillborn
+    and equivalent candidates are dropped and counted in the stats.  With
+    ``limit``, sites are taken round-robin across operators until ``limit``
+    viable mutants are found; the remainder is counted as ``truncated``.
+    """
+    stats = MutantStats()
+    per_operator: List[List[MutationSite]] = []
+    for operator in resolve_operators(operators):
+        session = _run_session(design.module, design.model, operator, target=None)
+        per_operator.append(
+            [
+                MutationSite(operator.name, index, description)
+                for index, description in enumerate(session.descriptions)
+            ]
+        )
+    stats.sites = sum(len(group) for group in per_operator)
+
+    #: The golden transition system / reachable set / reference traces are
+    #: shared by every mutant of this design — build them once.
+    context = SemanticContext(design) if semantic_filter else None
+
+    mutants: List[Mutant] = []
+    seen = 0
+    for site in _interleave(per_operator):
+        if limit is not None and len(mutants) >= limit:
+            stats.truncated = stats.sites - seen
+            break
+        seen += 1
+        try:
+            mutated = apply_mutation(design, site.operator, site.index)
+        except (HdlError, EvalError, ValueError, RecursionError):
+            stats.stillborn += 1
+            continue
+        witness = None
+        if context is not None:
+            try:
+                witness = context.difference(mutated)
+            except (HdlError, EvalError, RecursionError):
+                stats.stillborn += 1
+                continue
+            if witness is None:
+                stats.equivalent += 1
+                continue
+        mutants.append(
+            Mutant(
+                golden_name=design.name,
+                operator=site.operator,
+                site=site.index,
+                description=site.description,
+                design=mutated,
+                witness=witness,
+            )
+        )
+    stats.viable = len(mutants)
+    return mutants, stats

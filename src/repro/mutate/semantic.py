@@ -1,0 +1,218 @@
+"""Semantic difference detection between a golden design and a mutant.
+
+Mutation analysis is only meaningful over mutants that *can* be killed: a
+mutant that no longer elaborates is stillborn, and a mutant that is
+semantically equivalent to the golden design (the mutation landed on dead or
+redundant logic) would count as "survived" against every assertion and
+silently depress kill rates.  :func:`semantic_difference` is the filter the
+operator library runs on every candidate: it returns a concrete
+:class:`DifferenceWitness` — a reachable state and input assignment (or a
+stimulus cycle) on which the two designs disagree — or ``None`` when no
+difference is detectable.
+
+Two strategies, mirroring the FPV engine's proof strategies:
+
+* **Reachable-state sweep** — when the golden design's input space is
+  enumerable and its reachable set fits the caps, both designs are stepped
+  from every golden-reachable state under every input vector and compared
+  signal-by-signal (settled environment *and* next state).  Finding no
+  difference here is a complete equivalence argument over the golden
+  design's reachable space, because both machines start from the same
+  initial state and agree on every transition out of every reachable state.
+* **Lockstep simulation** — beyond those caps, both designs run the same
+  constrained-random stimulus (identical seeds, reset sequence) and their
+  traces are compared cycle-by-cycle.  No difference within the bounded run
+  means the candidate is *treated* as equivalent (the standard conservative
+  choice in mutation analysis).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..fpv.transition import TransitionSystem, enumerate_reachable
+from ..hdl.design import Design
+from ..sim.simulator import Simulator
+from ..sim.stimulus import RandomStimulus, ResetSequenceStimulus
+from ..sim.trace import Trace
+
+__all__ = ["DifferenceWitness", "SemanticContext", "semantic_difference"]
+
+
+@dataclass(frozen=True)
+class DifferenceWitness:
+    """Where a mutant observably diverges from its golden design."""
+
+    signal: str
+    golden_value: int
+    mutant_value: int
+    method: str  # 'state-sweep' | 'simulation'
+    #: Register assignment the divergence was observed from (state sweep).
+    state: Dict[str, int] = field(default_factory=dict)
+    #: Input assignment driving the diverging evaluation (state sweep).
+    inputs: Dict[str, int] = field(default_factory=dict)
+    #: Stimulus cycle of the divergence (simulation) — 0 for the sweep.
+    cycle: int = 0
+
+    def describe(self) -> str:
+        where = (
+            f"cycle {self.cycle}"
+            if self.method == "simulation"
+            else f"state {self.state} inputs {self.inputs}"
+        )
+        return (
+            f"{self.signal}: golden={self.golden_value} "
+            f"mutant={self.mutant_value} at {where} [{self.method}]"
+        )
+
+
+class SemanticContext:
+    """Per-golden-design state shared across every mutant comparison.
+
+    A design typically spawns tens of mutants; the golden transition system,
+    its reachable set, and its reference simulation traces are identical for
+    all of them, so the context computes each exactly once.  Only the mutant
+    side is rebuilt per comparison.
+    """
+
+    def __init__(
+        self,
+        golden: Design,
+        *,
+        max_states: int = 1024,
+        max_transitions: int = 40_000,
+        sweep_budget: int = 60_000,
+        cycles: int = 96,
+        seeds: int = 2,
+    ):
+        self.golden = golden
+        self._cycles = cycles
+        self._seeds = seeds
+        self._system = TransitionSystem(golden)
+        self._reachability = None
+        self._sweep_feasible = False
+        if self._system.can_enumerate_inputs:
+            reachability = enumerate_reachable(
+                self._system, max_states=max_states, max_transitions=max_transitions
+            )
+            budget = reachability.count * max(self._system.input_space_size, 1)
+            if reachability.complete and budget <= sweep_budget:
+                self._reachability = reachability
+                self._sweep_feasible = True
+        self._golden_traces: Optional[List[Trace]] = None
+
+    def difference(self, mutant: Design) -> Optional[DifferenceWitness]:
+        """Find a reachable divergence of ``mutant`` from the golden design.
+
+        Returns a :class:`DifferenceWitness`, or ``None`` when the two
+        designs are equivalent on the golden design's reachable space
+        (complete sweep) or indistinguishable within the bounded simulation
+        budget.
+        """
+        if self._sweep_feasible:
+            return self._sweep_difference(mutant)
+        return self._simulation_difference(mutant)
+
+    # -- complete reachable-state sweep -----------------------------------------
+
+    def _sweep_difference(self, mutant: Design) -> Optional[DifferenceWitness]:
+        golden_system = self._system
+        mutant_system = TransitionSystem(mutant)
+        signals = list(self.golden.model.signals)
+        for state in self._reachability.states:
+            state_values = golden_system.state_dict(state)
+            mutant_state = mutant_system.encode_state(state_values)
+            for inputs in golden_system.enumerate_inputs():
+                golden_step = golden_system.step(state, inputs)
+                mutant_step = mutant_system.step(mutant_state, inputs)
+                for signal in signals:
+                    golden_value = golden_step.env.get(signal, 0)
+                    mutant_value = mutant_step.env.get(signal, 0)
+                    if golden_value != mutant_value:
+                        return DifferenceWitness(
+                            signal=signal,
+                            golden_value=golden_value,
+                            mutant_value=mutant_value,
+                            method="state-sweep",
+                            state=dict(state_values),
+                            inputs=dict(inputs),
+                        )
+                golden_next = golden_system.state_dict(golden_step.next_state)
+                mutant_next = mutant_system.state_dict(mutant_step.next_state)
+                if golden_next != mutant_next:
+                    signal = next(
+                        name
+                        for name, value in golden_next.items()
+                        if mutant_next.get(name) != value
+                    )
+                    return DifferenceWitness(
+                        signal=signal,
+                        golden_value=golden_next[signal],
+                        mutant_value=mutant_next.get(signal, 0),
+                        method="state-sweep",
+                        state=dict(state_values),
+                        inputs=dict(inputs),
+                    )
+        return None
+
+    # -- bounded lockstep simulation --------------------------------------------
+
+    def _stimulus(self, seed: int) -> ResetSequenceStimulus:
+        return ResetSequenceStimulus(RandomStimulus(seed=seed), reset_cycles=2)
+
+    def _golden_trace(self, seed: int) -> Trace:
+        if self._golden_traces is None:
+            self._golden_traces = [
+                Simulator(self.golden).run(cycles=self._cycles, stimulus=self._stimulus(s))
+                for s in range(self._seeds)
+            ]
+        return self._golden_traces[seed]
+
+    def _simulation_difference(self, mutant: Design) -> Optional[DifferenceWitness]:
+        for seed in range(self._seeds):
+            golden_trace = self._golden_trace(seed)
+            mutant_trace = Simulator(mutant).run(
+                cycles=self._cycles, stimulus=self._stimulus(seed)
+            )
+            span = min(golden_trace.num_cycles, mutant_trace.num_cycles)
+            for cycle in range(span):
+                golden_row = golden_trace.row(cycle)
+                mutant_row = mutant_trace.row(cycle)
+                for signal, golden_value in golden_row.items():
+                    mutant_value = mutant_row.get(signal, 0)
+                    if golden_value != mutant_value:
+                        return DifferenceWitness(
+                            signal=signal,
+                            golden_value=golden_value,
+                            mutant_value=mutant_value,
+                            method="simulation",
+                            inputs={
+                                name: mutant_row.get(name, 0)
+                                for name in self.golden.model.non_clock_inputs
+                            },
+                            cycle=cycle,
+                        )
+        return None
+
+
+def semantic_difference(
+    golden: Design,
+    mutant: Design,
+    *,
+    max_states: int = 1024,
+    max_transitions: int = 40_000,
+    sweep_budget: int = 60_000,
+    cycles: int = 96,
+    seeds: int = 2,
+) -> Optional[DifferenceWitness]:
+    """One-shot wrapper over :class:`SemanticContext` for a single mutant."""
+    context = SemanticContext(
+        golden,
+        max_states=max_states,
+        max_transitions=max_transitions,
+        sweep_budget=sweep_budget,
+        cycles=cycles,
+        seeds=seeds,
+    )
+    return context.difference(mutant)

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import itertools
 import random
-from typing import Dict, Iterator, List, Optional, Sequence
+from typing import Dict, Iterator, Optional, Sequence
 
 from ..hdl.elaborate import RtlModel
 

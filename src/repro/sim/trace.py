@@ -8,7 +8,7 @@ simulation-based falsification path of the FPV engine, and VCD export.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence
+from typing import Dict, Iterator, List, Sequence
 
 
 @dataclass

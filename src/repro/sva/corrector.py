@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional
 
 from ..hdl.design import Design
-from .errors import SvaError, SvaSyntaxError
+from .errors import SvaError
 from .model import Assertion
 from .parser import parse_assertion
 

@@ -10,7 +10,7 @@ cycle offset — which also covers multi-term consequents.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Set, Tuple
 
 from ..hdl import ast

@@ -10,7 +10,6 @@ from repro.fpv import (
     check_assertion,
     enumerate_reachable,
 )
-from repro.hdl import Design
 
 
 @pytest.fixture(scope="module")

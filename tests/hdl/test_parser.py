@@ -10,14 +10,12 @@ from repro.hdl import (
     Case,
     Concat,
     ContinuousAssign,
-    Identifier,
     If,
     NetDecl,
     Number,
     ParamDecl,
     ParseError,
     PartSelect,
-    PortDecl,
     Replicate,
     Ternary,
     Unary,

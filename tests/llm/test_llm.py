@@ -12,7 +12,6 @@ from repro.llm import (
     GPT_35,
     GPT_4O,
     LLAMA3_70B,
-    ModelProfile,
     NgramModel,
     OutcomeMix,
     PromptBuilder,
@@ -29,7 +28,6 @@ from repro.llm import (
 )
 from repro.llm.assertion_llm import AssertionLLM
 from repro.llm.prompt import InContextExample
-from repro.sva import parse_assertion
 
 
 class TestTokenizer:

@@ -86,6 +86,56 @@ class TestReport:
         assert "no manifest" in capsys.readouterr().err
 
 
+class TestMutate:
+    @pytest.fixture()
+    def mutate_run(self, tmp_path, capsys):
+        run_dir = tmp_path / "mutsmoke"
+        code = main(["mutate", "--smoke", "--run-dir", str(run_dir),
+                     "--max-mutants", "6"])
+        out = capsys.readouterr().out
+        assert code == 0
+        return run_dir, out
+
+    def test_smoke_mutate_scores_and_persists(self, mutate_run):
+        run_dir, out = mutate_run
+        assert "Mutation kill rate per assertion" in out
+        assert "Mutation score distribution per corpus category" in out
+        assert "Weakest assertions by kill rate" in out
+        assert "mutation outcomes:" in out
+        store = RunStore(run_dir)
+        assert store.mutations_path.exists()
+        records, markers = store.load_mutation_log()
+        assert records and markers
+
+    def test_mutate_rerun_resumes_from_the_log(self, mutate_run, capsys):
+        run_dir, first_out = mutate_run
+        assert main(["mutate", "--smoke", "--run-dir", str(run_dir),
+                     "--max-mutants", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "mutating" not in out  # every design marker short-circuits
+        first_table = first_out[first_out.index("Mutation kill rate"):]
+        resumed_table = out[out.index("Mutation kill rate"):]
+        assert first_table.splitlines()[:10] == resumed_table.splitlines()[:10]
+
+    def test_report_mutation_renders_the_log(self, mutate_run, capsys):
+        run_dir, _ = mutate_run
+        assert main(["report", "--run-dir", str(run_dir), "--mutation"]) == 0
+        out = capsys.readouterr().out
+        assert "Mutation kill rate per assertion" in out
+        assert "Weakest assertions by kill rate" in out
+
+    def test_report_mutation_without_log_explains(self, smoke_run, capsys):
+        run_dir, _ = smoke_run
+        assert main(["report", "--run-dir", str(run_dir), "--mutation"]) == 0
+        assert "no mutation verdicts recorded yet" in capsys.readouterr().out
+
+    def test_unknown_operator_is_rejected(self, tmp_path, capsys):
+        code = main(["mutate", "--smoke", "--run-dir", str(tmp_path / "x"),
+                     "--operators", "nope"])
+        assert code == 2
+        assert "unknown mutation operator" in capsys.readouterr().err
+
+
 class TestListCorpora:
     def test_lists_registered_corpora(self, capsys):
         assert main(["list-corpora"]) == 0
