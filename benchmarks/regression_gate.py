@@ -11,11 +11,14 @@ full-mode baselines (the ``BENCH_*.json`` files in the repository root)
 instead, via ``--baseline-dir .``.
 
 Only *machine-independent* metrics are gated — backend speedup ratios,
-warm-cache speedup ratios, and the (deterministic) mutation kill fraction.
+warm-cache speedup ratios, and the (deterministic) mutation outcomes.
 Absolute wall-clock fields vary with runner hardware and are reported but
 never gated.  A gated metric fails when it regresses more than ``tolerance``
 (default 20%) below its baseline; improvements never fail and are simply
-reported so a maintainer can refresh the baseline.
+reported so a maintainer can refresh the baseline.  Metrics marked
+``exact`` (the mutation ``killed``/``survived`` totals and the kill
+fraction) tolerate no drift at all: the mutation sweep is deterministic, so
+any change is a semantic change, not noise.
 """
 
 from __future__ import annotations
@@ -42,22 +45,39 @@ GATED_METRICS = {
         "warm_reachability_speedup": {"direction": "higher", "smoke_slack": 3.0},
     },
     "BENCH_mutation_kill.json": {
-        # Deterministic (no timing component): any drop is a semantic change.
-        "kill_fraction": {"direction": "higher", "smoke_slack": 1.0},
+        # Deterministic (no timing component): any change is a semantic
+        # change, so the whole outcome histogram is pinned exactly.
+        "kill_fraction": {"direction": "exact"},
+        "outcomes.killed": {"direction": "exact"},
+        "outcomes.survived": {"direction": "exact"},
     },
 }
+
+
+def _lookup(report: dict, metric: str):
+    """Resolve a dotted metric path (e.g. ``outcomes.killed``)."""
+    value = report
+    for part in metric.split("."):
+        if not isinstance(value, dict) or part not in value:
+            return None
+        value = value[part]
+    return value
 
 
 def compare_report(name: str, baseline: dict, candidate: dict, tolerance: float):
     """Yield (metric, baseline, candidate, ok) rows for one report pair."""
     smoke = bool(candidate.get("smoke"))
     for metric, spec in GATED_METRICS.get(name, {}).items():
-        if metric not in baseline or metric not in candidate:
+        base_raw = _lookup(baseline, metric)
+        new_raw = _lookup(candidate, metric)
+        if base_raw is None or new_raw is None:
             continue
-        base_value = float(baseline[metric])
-        new_value = float(candidate[metric])
+        base_value = float(base_raw)
+        new_value = float(new_raw)
         band = tolerance * (spec.get("smoke_slack", 1.0) if smoke else 1.0)
-        if spec["direction"] == "higher":
+        if spec["direction"] == "exact":
+            ok = new_value == base_value
+        elif spec["direction"] == "higher":
             ok = new_value >= base_value * (1.0 - band)
         else:
             ok = new_value <= base_value * (1.0 + band)

@@ -35,6 +35,7 @@ from repro.fpv.engine import EngineConfig
 from repro.hdl.design import Design
 from repro.mining import mine_verified_assertions
 from repro.mutate import MutationCampaign, MutationConfig
+from repro.sim.compile import VECTORIZED
 
 _SMOKE = os.environ.get("REPRO_SMOKE", "0") == "1"
 
@@ -51,6 +52,10 @@ _ENGINE = EngineConfig(
     max_path_evaluations=120_000,
     fallback_cycles=128 if _SMOKE else 256,
     fallback_seeds=2,
+    # The campaign default (`repro mutate`): family batching rides the
+    # vectorized kernel, with the compiled per-mutant sweep as transparent
+    # fallback.  Verdict outcomes are backend-identical by contract.
+    backend=VECTORIZED,
 )
 
 _REPORT_PATH = Path(__file__).resolve().parent.parent / "BENCH_mutation_kill.json"
@@ -108,6 +113,7 @@ def test_mutation_kill_throughput():
         "kill_fraction": round(kill_fraction, 3),
         "elapsed_s": round(elapsed, 3),
         "verdicts_per_s": round(verdicts / elapsed, 1) if elapsed else 0.0,
+        "family": service.family_stats(),
     }
     _REPORT_PATH.write_text(json.dumps(report, indent=2) + "\n")
     print(

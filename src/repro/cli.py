@@ -145,6 +145,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-semantic-filter", action="store_true",
         help="keep mutants with no detectable difference from the golden design",
     )
+    mutate_parser.add_argument(
+        "--no-family", action="store_true",
+        help="disable family-batched verification (reference per-mutant path; "
+             "verdict outcomes are identical, only slower)",
+    )
+    mutate_parser.add_argument(
+        "--no-witness-screen", action="store_true",
+        help="disable the difference-witness kill pre-screen",
+    )
 
     resume_parser = sub.add_parser(
         "resume",
@@ -262,19 +271,44 @@ def _campaign(
                 campaign.passed_assertions(store),
                 progress=lambda message: print(message),
             )
-        cache_stats = runtime.cache.stats()
-    store.finish_run()
+        run_stats = runtime.service.run_stats()
+    store.finish_run(stats=run_stats)
     store.close()
 
     print(accuracy_matrix_report(matrix, "Accuracy matrix").text)
     if summary is not None:
         _print_mutation_summary(summary)
-    print(
-        f"\nverdict cache: {cache_stats['entries']} entries, "
-        f"{cache_stats['hits']} hits, {cache_stats['misses']} misses"
-    )
+    _print_run_stats(run_stats)
     print(f"run directory: {store.root} (status: complete)")
     return 0
+
+
+def _print_run_stats(run_stats: dict) -> None:
+    """Render the per-run cache counters (also shown by ``repro report``)."""
+    verdicts = run_stats.get("verdict_cache", {})
+    print(
+        f"\nverdict cache: {verdicts.get('entries', 0)} entries, "
+        f"{verdicts.get('hits', 0)} hits, {verdicts.get('misses', 0)} misses"
+    )
+    reachability = run_stats.get("reachability_cache", {})
+    print(
+        f"reachability cache: {reachability.get('entries', 0)} entries, "
+        f"{reachability.get('hits', 0)} hits, {reachability.get('misses', 0)} misses"
+    )
+    step = run_stats.get("step_cache", {})
+    print(
+        f"step cache: {step.get('hits', 0)} hits, {step.get('misses', 0)} misses"
+    )
+    family = run_stats.get("family", {})
+    if family.get("members"):
+        print(
+            f"family sweep: {family.get('members', 0)} mutants "
+            f"({family.get('family_members', 0)} family-batched, "
+            f"{family.get('fallback_members', 0)} fallback), "
+            f"{family.get('memo_reused', 0)} memo-reused verdicts, "
+            f"{family.get('screen_kills', 0)} witness-screen kills, "
+            f"{family.get('delta_escape_states', 0)} delta escape states"
+        )
 
 
 def _print_mutation_summary(summary: MutationSummary) -> None:
@@ -333,6 +367,8 @@ def _mutate(args: argparse.Namespace) -> int:
         operators=list(args.operators) if args.operators is not None else None,
         limit_per_design=max(1, limit) if limit is not None else None,
         semantic_filter=not args.no_semantic_filter,
+        family_batching=not args.no_family,
+        witness_screen=not args.no_witness_screen,
     )
     try:
         # Fail fast on unknown operator names (the library is the single
@@ -362,6 +398,9 @@ def _report(args: argparse.Namespace) -> int:
         f"config={summary['config_hash']} cells={summary['completed_cells']} "
         f"verdicts={summary['persistent_verdicts']} resumes={summary['resumes']}"
     )
+    recorded_stats = manifest.get("stats")
+    if recorded_stats:
+        _print_run_stats(recorded_stats)
     if args.mutation:
         records, markers = store.load_mutation_log()
         if not records:

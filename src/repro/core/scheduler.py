@@ -43,6 +43,10 @@ from ..sva.model import Assertion
 AssertionLike = Union[str, Assertion]
 #: One unit of schedulable work: a design plus the assertions queued for it.
 VerificationJob = Tuple[Design, Sequence[AssertionLike]]
+#: One family unit: the golden design, its mutants (anything exposing
+#: ``.design`` and ``.witness``, e.g. :class:`repro.mutate.operators.Mutant`),
+#: and the assertions to score every mutant against.
+FamilyJob = Tuple[Design, Sequence, Sequence[AssertionLike]]
 
 _WORKERS_ENV_VAR = "REPRO_FPV_WORKERS"
 
@@ -95,6 +99,18 @@ class VerdictCache:
     def put(self, design_name: str, text: str, result: ProofResult) -> None:
         with self._lock:
             self._verdicts[self._key(design_name, text)] = result
+
+    def put_many(self, items: Sequence[Tuple[str, str, ProofResult]]) -> None:
+        """Store a batch of verdicts under one lock acquisition.
+
+        Persistent subclasses override this to amortise their write+flush
+        over the whole batch — the streaming runtime commits one design's
+        verdicts at a time, and a flush per verdict is measurable against
+        the per-cell budget.
+        """
+        with self._lock:
+            for design_name, text, result in items:
+                self._verdicts[self._key(design_name, text)] = result
 
     def stats(self) -> Dict[str, int]:
         """Snapshot of the cache accounting."""
@@ -154,9 +170,55 @@ def _check_design_batch(
     engine = _engine_for(design, config)
     if reachability is not None:
         engine.preload_reachability(reachability)
+    before = engine.step_cache_stats()
     results = engine.check_batch(assertions)
+    after = engine.step_cache_stats()
+    step_stats = {
+        "hits": after["hits"] - before["hits"],
+        "misses": after["misses"] - before["misses"],
+    }
     snapshot = None if reachability is not None else engine.reachability_snapshot()
-    return results, snapshot
+    return results, snapshot, step_stats
+
+
+def _check_family_job(
+    golden: Design,
+    mutant_designs: Sequence[Design],
+    witnesses: Sequence,
+    assertions: Sequence[AssertionLike],
+    config: EngineConfig,
+    preloads: Dict,
+    witness_screen: bool,
+) -> Tuple[List[List[ProofResult]], Dict, Dict[str, int]]:
+    """Check one whole mutant family (runs in a worker process or inline).
+
+    ``preloads`` seeds a worker-local reachability cache with the parent's
+    cached sets (golden and mutants alike); every set the family sweep
+    computes fresh rides back in the second slot so the parent can persist
+    it.  The third slot carries the family sweep's counters.
+    """
+    from ..fpv.incremental import FamilyStats, check_family
+
+    cache = ReachabilityCache()
+    for key, result in preloads.items():
+        cache.put(key, result)
+    stats = FamilyStats()
+    verdicts = check_family(
+        golden,
+        mutant_designs,
+        assertions,
+        config,
+        cache,
+        witnesses=witnesses,
+        witness_screen=witness_screen,
+        stats=stats,
+    )
+    fresh = {
+        key: result
+        for key, result in cache.entries().items()
+        if key not in preloads
+    }
+    return verdicts, fresh, stats.as_dict()
 
 
 # -- the service ----------------------------------------------------------------
@@ -184,6 +246,12 @@ class VerificationService:
         )
         self._pool: Optional[ProcessPoolExecutor] = None
         self._pool_lock = threading.Lock()
+        #: Aggregated counters from family-batched mutation dispatch and the
+        #: scalar step caches; guarded by one lock — streaming campaigns
+        #: dispatch from several verifier threads concurrently.
+        self._stats_lock = threading.Lock()
+        self._family_stats: Dict[str, int] = {}
+        self._step_stats: Dict[str, int] = {}
 
     @property
     def config(self) -> SchedulerConfig:
@@ -285,6 +353,173 @@ class VerificationService:
             for design_key, job_slots in zip(design_keys, slots)
         ]
 
+    def check_families(
+        self, jobs: Sequence[FamilyJob], witness_screen: bool = True
+    ) -> List[List[List[ProofResult]]]:
+        """Check mutant families, one family per worker task.
+
+        Returns, per job, one verdict list per mutant aligned with the job's
+        assertion order.  The verdict cache is consulted per (mutant,
+        assertion) before dispatch: mutants whose every verdict is cached
+        never reach a worker, and every fresh verdict is stored afterwards.
+        Reachability sets — the golden design's and every mutant's — ride
+        the same parent-process cache as design-level dispatch.
+        """
+        engine_config = self._config.engine
+        results: List[Optional[List[List[ProofResult]]]] = [None] * len(jobs)
+        dispatch: List[Tuple[int, Design, List, List[str], Dict]] = []
+        cached_layers: List[Dict[Tuple[int, int], ProofResult]] = []
+        for job_index, (golden, mutants, assertions) in enumerate(jobs):
+            mutants = list(mutants)
+            texts = [_assertion_text(assertion) for assertion in assertions]
+            cached: Dict[Tuple[int, int], ProofResult] = {}
+            pending_mutants: List = []
+            for position, mutant in enumerate(mutants):
+                design_key = _design_key(mutant.design)
+                missing = False
+                for text_index, text in enumerate(texts):
+                    verdict = self._cache.get(design_key, text)
+                    if verdict is None:
+                        missing = True
+                    else:
+                        cached[(position, text_index)] = verdict
+                if missing:
+                    pending_mutants.append((position, mutant))
+            cached_layers.append(cached)
+            if not pending_mutants:
+                results[job_index] = [
+                    [cached[(position, text_index)] for text_index in range(len(texts))]
+                    for position in range(len(mutants))
+                ]
+                continue
+            preloads: Dict = {}
+            for design in [golden] + [mutant.design for _, mutant in pending_mutants]:
+                key = reachability_key(design, engine_config)
+                hit = self._reachability_cache.get(key)
+                if hit is not None:
+                    preloads[key] = hit
+            dispatch.append((job_index, golden, pending_mutants, texts, preloads))
+
+        if dispatch:
+            workers = self.effective_workers()
+            # A family is the semantic unit, but not the scheduling unit:
+            # the mutation campaign hands over one family at a time, so a
+            # single job is sliced along its mutant axis to keep every
+            # worker busy.  Per-mutant verdicts are independent of family
+            # composition (the memo always compares against the golden
+            # design), so slicing never changes a result.
+            shards: List[Tuple[int, List]] = []  # (job index, shard mutants)
+            for entry in dispatch:
+                job_index, golden, pending_mutants, _, preloads = entry
+                count = (
+                    min(len(pending_mutants), max(1, workers // len(dispatch)))
+                    if workers > 1
+                    else 1
+                )
+                if count > 1:
+                    # Pay the golden BFS once in the parent instead of once
+                    # per shard; every shard then preloads the same set.
+                    key = reachability_key(golden, engine_config)
+                    if key not in preloads:
+                        engine = FormalEngine(
+                            golden, engine_config, self._reachability_cache
+                        )
+                        explored = engine.explore_reachability()
+                        if explored is not None:
+                            preloads[key] = explored
+                size = (len(pending_mutants) + count - 1) // count
+                for start in range(0, len(pending_mutants), size):
+                    shards.append((job_index, pending_mutants[start : start + size]))
+            by_index = {entry[0]: entry for entry in dispatch}
+
+            def shard_args(job_index: int, shard_mutants: List):
+                _, golden, _, texts, preloads = by_index[job_index]
+                return (
+                    golden,
+                    [mutant.design for _, mutant in shard_mutants],
+                    [getattr(mutant, "witness", None) for _, mutant in shard_mutants],
+                    texts,
+                    engine_config,
+                    preloads,
+                    witness_screen,
+                )
+
+            if workers <= 1:
+                outcomes = [
+                    _check_family_job(*shard_args(job_index, shard_mutants))
+                    for job_index, shard_mutants in shards
+                ]
+            else:
+                pool = self._get_pool()
+                futures = [
+                    pool.submit(_check_family_job, *shard_args(job_index, shard_mutants))
+                    for job_index, shard_mutants in shards
+                ]
+                outcomes = [future.result() for future in futures]
+            touched: List[int] = []
+            for (job_index, shard_mutants), (verdicts, fresh, family_stats) in zip(
+                shards, outcomes
+            ):
+                _, _, _, texts, _ = by_index[job_index]
+                for key, result in fresh.items():
+                    self._reachability_cache.put(key, result)
+                self._merge_family_stats(family_stats)
+                cached = cached_layers[job_index]
+                stored: List[Tuple[str, str, ProofResult]] = []
+                for (position, mutant), mutant_verdicts in zip(shard_mutants, verdicts):
+                    design_key = _design_key(mutant.design)
+                    for text_index, (text, verdict) in enumerate(
+                        zip(texts, mutant_verdicts)
+                    ):
+                        cached[(position, text_index)] = verdict
+                        stored.append((design_key, text, verdict))
+                self._cache.put_many(stored)
+                if job_index not in touched:
+                    touched.append(job_index)
+            for job_index in touched:
+                _, _, _, texts, _ = by_index[job_index]
+                mutants = list(jobs[job_index][1])
+                cached = cached_layers[job_index]
+                results[job_index] = [
+                    [cached[(position, text_index)] for text_index in range(len(texts))]
+                    for position in range(len(mutants))
+                ]
+        return results  # type: ignore[return-value]
+
+    def _merge_family_stats(self, family_stats: Dict[str, int]) -> None:
+        with self._stats_lock:
+            for key, value in family_stats.items():
+                self._family_stats[key] = self._family_stats.get(key, 0) + value
+
+    def family_stats(self) -> Dict[str, int]:
+        """Aggregated family-sweep counters across every dispatched family."""
+        with self._stats_lock:
+            return dict(self._family_stats)
+
+    def _merge_step_stats(self, step_stats: Dict[str, int]) -> None:
+        with self._stats_lock:
+            for key, value in step_stats.items():
+                self._step_stats[key] = self._step_stats.get(key, 0) + value
+
+    def step_cache_stats(self) -> Dict[str, int]:
+        """Scalar step-cache hits/misses aggregated across dispatched batches.
+
+        Covers the memoised :meth:`~repro.fpv.transition.TransitionSystem.step`
+        path (scalar sweeps, tiny-frontier BFS slices) regardless of which
+        worker process ran the batch.
+        """
+        with self._stats_lock:
+            return dict(self._step_stats)
+
+    def run_stats(self) -> Dict[str, Dict[str, int]]:
+        """Everything observable about this service's caches, in one place."""
+        return {
+            "verdict_cache": self._cache.stats(),
+            "reachability_cache": self._reachability_cache.stats(),
+            "step_cache": self.step_cache_stats(),
+            "family": self.family_stats(),
+        }
+
     # -- dispatch -------------------------------------------------------------------
 
     def effective_workers(self) -> int:
@@ -326,15 +561,19 @@ class VerificationService:
             ]
             # Collect in submission order: deterministic result assembly.
             outcomes = [future.result() for future in futures]
-        for (design, _, keys), reach_key, preload, (results, snapshot) in zip(
+        stored: List[Tuple[str, str, ProofResult]] = []
+        for (design, _, keys), reach_key, preload, (results, snapshot, step_stats) in zip(
             batches, reach_keys, preloads, outcomes
         ):
+            self._merge_step_stats(step_stats)
             if snapshot is not None and preload is None:
                 self._reachability_cache.put(reach_key, snapshot)
             design_pending = pending[_design_key(design)]
             for key, result in zip(keys, results):
                 design_pending[key] = result
-                self._cache.put(*key, result)
+                stored.append((key[0], key[1], result))
+        if stored:
+            self._cache.put_many(stored)
 
 
 def _assertion_text(assertion: AssertionLike) -> str:

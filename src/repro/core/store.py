@@ -73,6 +73,11 @@ __all__ = [
 #: One campaign cell: (model name, k, design name).
 CellKey = Tuple[str, int, str]
 
+#: Compact separators for the append-only logs: the hot path serializes
+#: every outcome/verdict/reachability record per cell, and the default
+#: ", " / ": " separators cost measurably more bytes and time.
+_COMPACT = (",", ":")
+
 _MANIFEST_NAME = "manifest.json"
 _VERDICTS_NAME = "verdicts.jsonl"
 _REACHABILITY_NAME = "reachability.jsonl"
@@ -220,10 +225,24 @@ class PersistentVerdictCache(VerdictCache):
         self._loaded_entries = len(self._verdicts)
 
     def put(self, design_name: str, text: str, result: ProofResult) -> None:
-        key = self._key(design_name, text)
-        line = json.dumps(
-            {"design": key[0], "text": key[1], "proof": proof_to_json(result)}
-        )
+        self._write([(design_name, text, result)])
+        super().put(design_name, text, result)
+
+    def put_many(self, items) -> None:
+        """Batch store: one write + one flush for a whole design batch."""
+        self._write(items)
+        super().put_many(items)
+
+    def _write(self, items) -> None:
+        lines = []
+        for design_name, text, result in items:
+            key = self._key(design_name, text)
+            lines.append(
+                json.dumps(
+                    {"design": key[0], "text": key[1], "proof": proof_to_json(result)},
+                    separators=_COMPACT,
+                )
+            )
         with self._io_lock:
             if self._handle is None:
                 self._path.parent.mkdir(parents=True, exist_ok=True)
@@ -231,9 +250,8 @@ class PersistentVerdictCache(VerdictCache):
                 self._handle = self._path.open("a", encoding="utf-8")
                 if prefix:
                     self._handle.write(prefix)
-            self._handle.write(line + "\n")
+            self._handle.write("".join(line + "\n" for line in lines))
             self._handle.flush()
-        super().put(design_name, text, result)
 
     def close(self) -> None:
         """Close the append handle (reopened automatically on the next put)."""
@@ -310,7 +328,8 @@ class PersistentReachabilityCache(ReachabilityCache):
                 "frontier_exhausted": result.frontier_exhausted,
                 "transitions": result.transitions_explored,
                 "states": [list(state) for state in result.states],
-            }
+            },
+            separators=_COMPACT,
         )
         with self._io_lock:
             if self._handle is None:
@@ -495,10 +514,20 @@ class RunStore:
         self.write_manifest(manifest)
         return manifest
 
-    def finish_run(self) -> None:
+    def finish_run(self, stats: Optional[Dict] = None) -> None:
+        """Mark the run complete, optionally recording the run's cache stats.
+
+        ``stats`` (verdict / reachability / step-cache hit rates, family
+        sweep counters — see
+        :meth:`repro.core.scheduler.VerificationService.run_stats`) lands in
+        the manifest so ``repro report`` can show cache behaviour long after
+        the process that ran the campaign is gone.
+        """
         manifest = self.read_manifest()
         if manifest is not None:
             manifest["status"] = "complete"
+            if stats is not None:
+                manifest["stats"] = stats
             self.write_manifest(manifest)
 
     # -- persistent verdict cache ----------------------------------------------
@@ -555,14 +584,15 @@ class RunStore:
                         "attempt": attempt,
                         "idx": index,
                         "outcome": outcome_to_json(outcome),
-                    }
+                    },
+                    separators=_COMPACT,
                 )
                 for index, outcome in enumerate(outcomes)
             ],
         )
         self._append_lines(
             self.completed_path,
-            [json.dumps({**cell, "attempt": attempt, "count": len(outcomes)})],
+            [json.dumps({**cell, "attempt": attempt, "count": len(outcomes)}, separators=_COMPACT)],
         )
 
     def completed_cells(self) -> Dict[CellKey, CellMarker]:
@@ -653,7 +683,8 @@ class RunStore:
     def append_mutation_records(self, records: Sequence) -> None:
         """Append mutation verdict records (``MutationRecord`` instances)."""
         self._append_lines(
-            self.mutations_path, [json.dumps(record.to_json()) for record in records]
+            self.mutations_path,
+            [json.dumps(record.to_json(), separators=_COMPACT) for record in records],
         )
 
     def append_mutation_marker(

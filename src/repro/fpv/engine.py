@@ -91,6 +91,21 @@ def design_fingerprint(source: str) -> str:
     return hashlib.sha256(source.encode()).hexdigest()[:16]
 
 
+def fallback_stimuli(config: EngineConfig) -> List[ResetSequenceStimulus]:
+    """The falsification stimuli an engine simulates for one design.
+
+    The single source of truth for the recipe: the family verifier batches
+    these exact stimuli through the family kernel and preloads the traces,
+    so any change here automatically changes both paths together.
+    """
+    return [
+        ResetSequenceStimulus(
+            RandomStimulus(seed=seed), reset_cycles=config.reset_cycles
+        )
+        for seed in range(config.fallback_seeds)
+    ]
+
+
 #: Cache key for one design's reachability: source fingerprint plus every
 #: engine cap that shapes the exploration.  The evaluation backend is
 #: deliberately excluded — all backends produce identical reachable sets, so
@@ -132,6 +147,11 @@ class ReachabilityCache:
     def stats(self) -> Dict[str, int]:
         with self._lock:
             return {"entries": len(self._results), "hits": self.hits, "misses": self.misses}
+
+    def entries(self) -> Dict[ReachabilityKey, ReachabilityResult]:
+        """Snapshot of every cached result (worker round-trip support)."""
+        with self._lock:
+            return dict(self._results)
 
     def __len__(self) -> int:
         with self._lock:
@@ -195,6 +215,7 @@ class _Obligation:
         "triggered",
         "decided",
         "witness",
+        "witness_pairs",
         "error",
     )
 
@@ -229,6 +250,10 @@ class _Obligation:
         self.triggered = False
         self.decided = False
         self.witness: Optional[Tuple[List[Dict[str, int]], str]] = None
+        #: (state index, input index) path of a vectorized-sweep witness —
+        #: lets a family memo re-materialise the same refutation on another
+        #: family member's table without re-running the path search.
+        self.witness_pairs: Optional[List[Tuple[int, int]]] = None
         self.error: Optional[str] = None
 
     def term_exprs(self):
@@ -409,9 +434,41 @@ class FormalEngine:
         if self._reachability is None:
             self._reachability = result
 
+    def preload_fallback_traces(self, traces: List) -> None:
+        """Adopt pre-simulated falsification traces (family batch warm-up).
+
+        The traces must be exactly what :meth:`_fallback_trace_set` would
+        simulate — same stimuli, cycle count, and reset sequence — which the
+        family verifier guarantees by batching the family's members through
+        the one shared kernel.
+        """
+        if self._fallback_traces is None:
+            self._fallback_traces = traces
+
     def reachability_snapshot(self) -> Optional[ReachabilityResult]:
         """The reachability result computed (or adopted) so far, if any."""
         return self._reachability
+
+    def step_cache_stats(self) -> Dict[str, int]:
+        """Hit/miss snapshot of the transition system's step memo cache."""
+        return self._system.step_cache_info()
+
+    def explore_reachability(self) -> Optional[ReachabilityResult]:
+        """Compute (and cache) the reachable set, if exhaustive search could use it.
+
+        Returns ``None`` without exploring when the design can never be
+        checked exhaustively (input space not enumerable, too many state
+        bits) — the same guard :meth:`check_batch` applies before its first
+        reachability walk, so this never caches a degenerate result the
+        normal path would not produce.  The scheduler calls it in the parent
+        process before slicing a family across workers, so the shards all
+        preload one BFS instead of each re-running it.
+        """
+        if not self._system.can_enumerate_inputs:
+            return None
+        if self._system.state_bits > self._config.max_state_bits:
+            return None
+        return self._reachable()
 
     def _reachable(self) -> ReachabilityResult:
         if self._reachability is None:
@@ -583,10 +640,38 @@ class FormalEngine:
             text for expr, text in cons_pairs if not bool(table.truth(expr)[s, i])
         )
         cycles = table.env_rows([pair], self._witness_names())
+        obligation.witness_pairs = [pair]
         obligation.refute((cycles, failed))
 
-    def _vec_deep(self, obligation: _Obligation, table) -> None:
+    def _vec_deep(self, obligation: _Obligation, table, plan=None) -> None:
         """Table-driven path search for multi-cycle obligations.
+
+        A closed-form array pass over the truth matrices first decides
+        whether any refuting path exists and what the full search would
+        charge (see :func:`_deep_plan`).  Obligations with no refutation are
+        decided (or declared exhausted) straight from that plan; only
+        obligations that *do* refute — or whose refutation races the budget
+        cutoff — run the recursive sweep, which terminates at the first
+        refutation anyway.  Verdicts, witnesses, budget exhaustion, and the
+        triggered flag are identical to running the recursion everywhere.
+        A caller that already computed the plan (the family verifier's
+        witness pre-screen) passes it in to avoid a second pass.
+        """
+        limit = self._config.max_path_evaluations
+        if plan is None:
+            plan = _deep_plan(obligation, table, limit)
+        if not plan.refutable:
+            if plan.charges > limit:
+                obligation.budget_used = limit + 1
+                obligation.budget_exhausted = True
+            else:
+                obligation.budget_used = plan.charges
+                obligation.triggered = plan.triggered
+            return
+        self._vec_deep_recursive(obligation, table)
+
+    def _vec_deep_recursive(self, obligation: _Obligation, table) -> None:
+        """The reference depth-first sweep (used when a refutation exists).
 
         Mirrors :meth:`_sweep` exactly (same input order, budget charges,
         pending/completion protocol) with truth-matrix lookups in place of
@@ -697,6 +782,7 @@ class FormalEngine:
                 and not obligation.budget_exhausted
             ):
                 cycles = table.env_rows(born.pairs, self._witness_names())
+                obligation.witness_pairs = list(born.pairs)
                 obligation.refute((cycles, born.term))
 
     # -- the scalar sweep --------------------------------------------------------------
@@ -783,50 +869,12 @@ class FormalEngine:
     def _exhaustive_result(
         self, obligation: _Obligation, reachability: ReachabilityResult
     ) -> ProofResult:
-        assertion = obligation.assertion
-        if obligation.error is not None:
-            return error_result(obligation.error, self._design.name, assertion)
-        if obligation.witness is not None:
-            cycles, failed_term = obligation.witness
-            # Canonicalise witness cycles to this assertion's signals (plus
-            # state and inputs): identical whether the assertion was checked
-            # solo or in a batch, and identical across all three backends.
-            keep = set(assertion.signals())
-            keep.update(self._system.state_names)
-            keep.update(self._system.input_names)
-            return ProofResult(
-                status=ProofStatus.CEX,
-                assertion=assertion,
-                design_name=self._design.name,
-                counterexample=Counterexample(
-                    cycles=[
-                        {name: value for name, value in cycle.items() if name in keep}
-                        for cycle in cycles
-                    ],
-                    trigger_cycle=0,
-                    failed_term=failed_term,
-                ),
-                reason="counterexample found by explicit-state search",
-                engine="explicit-state",
-                complete=True,
-                states_explored=reachability.count,
-                depth=obligation.depth,
-            )
-        status = ProofStatus.PROVEN if obligation.triggered else ProofStatus.VACUOUS
-        reason = (
-            "holds on all reachable states"
-            if obligation.triggered
-            else "antecedent unreachable on all reachable states"
-        )
-        return ProofResult(
-            status=status,
-            assertion=assertion,
-            design_name=self._design.name,
-            reason=reason,
-            engine="explicit-state",
-            complete=True,
-            states_explored=reachability.count,
-            depth=obligation.depth,
+        return assemble_exhaustive_result(
+            obligation,
+            reachability,
+            self._design.name,
+            self._system.state_names,
+            self._system.input_names,
         )
 
     def _term_fn(self, expr):
@@ -849,12 +897,7 @@ class FormalEngine:
         are bit-for-bit identical to the per-seed scalar runs.
         """
         if self._fallback_traces is None:
-            stimuli = [
-                ResetSequenceStimulus(
-                    RandomStimulus(seed=seed), reset_cycles=self._config.reset_cycles
-                )
-                for seed in range(self._config.fallback_seeds)
-            ]
+            stimuli = fallback_stimuli(self._config)
             kernel = self._system.vector_kernel()
             use_batch = False
             if kernel is not None and self._backend == VECTORIZED:
@@ -928,6 +971,178 @@ class FormalEngine:
             complete=False,
             depth=depth,
         )
+
+
+def assemble_exhaustive_result(
+    obligation: _Obligation,
+    reachability: ReachabilityResult,
+    design_name: str,
+    state_names: Sequence[str],
+    input_names: Sequence[str],
+) -> ProofResult:
+    """Turn one decided exhaustive obligation into its :class:`ProofResult`.
+
+    Shared by :class:`FormalEngine` and the family verifier so a mutant's
+    result is assembled exactly like a standalone check's.
+    """
+    assertion = obligation.assertion
+    if obligation.error is not None:
+        return error_result(obligation.error, design_name, assertion)
+    if obligation.witness is not None:
+        cycles, failed_term = obligation.witness
+        # Canonicalise witness cycles to this assertion's signals (plus
+        # state and inputs): identical whether the assertion was checked
+        # solo or in a batch, and identical across all three backends.
+        keep = set(assertion.signals())
+        keep.update(state_names)
+        keep.update(input_names)
+        return ProofResult(
+            status=ProofStatus.CEX,
+            assertion=assertion,
+            design_name=design_name,
+            counterexample=Counterexample(
+                cycles=[
+                    {name: value for name, value in cycle.items() if name in keep}
+                    for cycle in cycles
+                ],
+                trigger_cycle=0,
+                failed_term=failed_term,
+            ),
+            reason="counterexample found by explicit-state search",
+            engine="explicit-state",
+            complete=True,
+            states_explored=reachability.count,
+            depth=obligation.depth,
+        )
+    status = ProofStatus.PROVEN if obligation.triggered else ProofStatus.VACUOUS
+    reason = (
+        "holds on all reachable states"
+        if obligation.triggered
+        else "antecedent unreachable on all reachable states"
+    )
+    return ProofResult(
+        status=status,
+        assertion=assertion,
+        design_name=design_name,
+        reason=reason,
+        engine="explicit-state",
+        complete=True,
+        states_explored=reachability.count,
+        depth=obligation.depth,
+    )
+
+
+@dataclass
+class _DeepPlan:
+    """Closed-form summary of one deep obligation's full path search.
+
+    ``charges`` is exactly what the depth-first sweep would charge if it ran
+    to completion without deciding (clamped just past the budget limit, so
+    overflow past the cap is indistinguishable from "exhausted" — which is
+    all the caller needs).  ``refutable`` is whether *any* completed
+    evaluation attempt fails a consequent term somewhere in the path space;
+    ``triggered`` whether any attempt completes at all.
+    """
+
+    charges: int
+    triggered: bool
+    refutable: bool
+
+
+def _deep_plan(obligation: _Obligation, table, limit: int) -> _DeepPlan:
+    """Analyse a deep obligation's whole path space with array ops.
+
+    The sweep's DFS explores paths ``state --i0--> state' --i1--> ...`` of
+    the assertion's temporal depth, gated per offset by the antecedent truth
+    matrices (plus ``disable_iff`` at offset 0).  Three facts about the full
+    search are order-independent and therefore computable by forward
+    propagation over the dense tables, one level at a time:
+
+    * the number of path nodes per level (every node charges the whole input
+      grid), giving the exact budget charge of an undecided sweep;
+    * per-state reachability of the path frontier, split by whether some
+      consequent term already failed along the way (one "fail" bit);
+    * at the final offset: whether any gated attempt completes (triggered)
+      and whether any completing attempt carries or incurs a consequent
+      failure (a refutation exists).
+    """
+    import numpy as np
+
+    depth = obligation.depth
+    S, I = table.shape
+    true_matrix = None
+
+    def gate(offset: int):
+        exprs = obligation.antecedent_exprs.get(offset, ())
+        matrix = None
+        for expr in exprs:
+            truth = table.truth(expr)
+            matrix = truth if matrix is None else (matrix & truth)
+        if offset == 0 and obligation.disable_expr is not None:
+            disabled = table.truth(obligation.disable_expr)
+            matrix = ~disabled if matrix is None else (matrix & ~disabled)
+        if matrix is None:
+            nonlocal true_matrix
+            if true_matrix is None:
+                true_matrix = np.ones((S, I), dtype=bool)
+            return true_matrix
+        return matrix
+
+    def cons_fail(offset: int):
+        pairs = obligation.consequent_exprs.get(offset, ())
+        matrix = None
+        for expr, _ in pairs:
+            failed = ~table.truth(expr)
+            matrix = failed if matrix is None else (matrix | failed)
+        return matrix  # None means "no consequent terms at this offset"
+
+    next_index = None
+    clamp = limit + 1
+    counts = np.ones(S, dtype=np.int64)  # paths per state at this level
+    reach_ok = np.ones(S, dtype=bool)  # frontier with no failure yet
+    reach_fail = np.zeros(S, dtype=bool)  # frontier carrying a failure
+    charges = 0
+
+    for offset in range(depth + 1):
+        charges = min(charges + int(counts.sum()) * I, clamp)
+        gate_matrix = gate(offset)
+        fail_matrix = cons_fail(offset)
+        if offset == depth:
+            ok_attempts = gate_matrix & reach_ok[:, None]
+            fail_attempts = gate_matrix & reach_fail[:, None]
+            triggered = bool(ok_attempts.any() or fail_attempts.any())
+            refutable = bool(fail_attempts.any()) or (
+                fail_matrix is not None and bool((ok_attempts & fail_matrix).any())
+            )
+            return _DeepPlan(charges=charges, triggered=triggered, refutable=refutable)
+
+        if next_index is None:
+            next_index = np.asarray(table.next_rows(), dtype=np.int64)
+
+        # Path counts: every gated (node, input) pair spawns one child node.
+        spawned = np.bincount(
+            next_index.ravel(),
+            weights=(counts[:, None] * gate_matrix).ravel(),
+            minlength=S,
+        )
+        counts = np.minimum(spawned, clamp).astype(np.int64)
+
+        # Frontier reachability with the one-bit failure flag.
+        ok_pairs = gate_matrix & reach_ok[:, None]
+        fail_pairs = gate_matrix & reach_fail[:, None]
+        if fail_matrix is not None:
+            fail_pairs = fail_pairs | (ok_pairs & fail_matrix)
+            ok_pairs = ok_pairs & ~fail_matrix
+        next_ok = np.zeros(S, dtype=bool)
+        next_fail = np.zeros(S, dtype=bool)
+        next_ok[next_index[ok_pairs]] = True
+        next_fail[next_index[fail_pairs]] = True
+        reach_ok, reach_fail = next_ok, next_fail
+        if not reach_ok.any() and not reach_fail.any() and not counts.any():
+            # Every path is gated out before reaching the final offset.
+            return _DeepPlan(charges=charges, triggered=False, refutable=False)
+
+    raise AssertionError("unreachable: the final offset always returns")
 
 
 def _terms_by_offset(terms: Sequence[SequenceTerm]) -> Dict[int, List[SequenceTerm]]:

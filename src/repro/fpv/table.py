@@ -31,41 +31,60 @@ from .transition import ReachabilityResult, State, TransitionSystem
 _CHUNK_LANES = 1 << 18
 
 
-class TransitionTable:
-    """Reachable-state × input-grid view of one design's transition system."""
+class PackedStateIndex:
+    """Map packed int64 state values to dense row indices (-1 = absent).
 
-    def __init__(
-        self,
-        system: TransitionSystem,
-        kernel: VectorKernel,
-        reachability: ReachabilityResult,
-    ):
-        self._system = system
-        self._kernel = kernel
-        self.states: List[State] = list(reachability.states)
-        self.num_states = len(self.states)
-        grid = system.input_grid
-        self.num_inputs = len(grid)
+    Small state spaces (≤ 24 bits) use a direct-indexed array; larger ones a
+    dict.  Shared by the transition table and the family sweep so the
+    threshold and semantics cannot drift apart.
+    """
 
-        state_bits = sum(kernel.state_widths)
-        self._packed_states = np.asarray(
-            [kernel.pack_state(state) for state in self.states], dtype=np.int64
-        )
-        self._packed_grid = kernel.pack_input_grid(grid)
-
-        # packed state value -> reachable index (dense for small spaces).
+    def __init__(self, packed_states: np.ndarray, state_bits: int):
+        count = len(packed_states)
         if state_bits <= 24:
             lookup = np.full(1 << max(state_bits, 1), -1, dtype=np.int64)
-            lookup[self._packed_states] = np.arange(self.num_states, dtype=np.int64)
+            lookup[packed_states] = np.arange(count, dtype=np.int64)
             self._lookup: Optional[np.ndarray] = lookup
             self._lookup_dict: Optional[Dict[int, int]] = None
         else:
             self._lookup = None
             self._lookup_dict = {
                 int(packed): index
-                for index, packed in enumerate(self._packed_states.tolist())
+                for index, packed in enumerate(packed_states.tolist())
             }
 
+    def index(self, packed: int) -> int:
+        """Row index of one packed state, or -1."""
+        if self._lookup is not None:
+            return int(self._lookup[packed])
+        return self._lookup_dict.get(packed, -1)
+
+    def indices(self, packed: np.ndarray) -> np.ndarray:
+        """Row indices of a packed-state array (vectorized where possible)."""
+        if self._lookup is not None:
+            return self._lookup[packed]
+        lookup_dict = self._lookup_dict
+        return np.fromiter(
+            (lookup_dict.get(value, -1) for value in packed.tolist()),
+            dtype=np.int64,
+            count=len(packed),
+        )
+
+
+class ObligationTable:
+    """Dense (states × inputs) matrices with cached row-list views.
+
+    The base layer shared by :class:`TransitionTable` (one design) and the
+    family member views of :mod:`repro.fpv.incremental` (one mutant riding a
+    family sweep): the obligation runners in :mod:`repro.fpv.engine` only
+    ever touch this interface, so a mutant's obligations run on exactly the
+    same code path as a standalone design's.
+    """
+
+    num_states: int = 0
+    num_inputs: int = 0
+
+    def __init__(self) -> None:
         self._next_index: Optional[np.ndarray] = None
         self._next_rows: Optional[List[List[int]]] = None
         self._truth: Dict[ast.Expr, np.ndarray] = {}
@@ -74,6 +93,48 @@ class TransitionTable:
     @property
     def shape(self) -> Tuple[int, int]:
         return (self.num_states, self.num_inputs)
+
+    def truth(self, expr: ast.Expr) -> np.ndarray:
+        """Boolean (states × inputs) truth matrix for a lowered term."""
+        return self._truth[expr]
+
+    def truth_rows(self, expr: ast.Expr) -> List[List[bool]]:
+        """`truth` as nested Python lists (fast scalar indexing in sweeps)."""
+        rows = self._truth_rows.get(expr)
+        if rows is None:
+            rows = self._truth[expr].tolist()
+            self._truth_rows[expr] = rows
+        return rows
+
+    def next_rows(self) -> List[List[int]]:
+        """Next-state indices as nested Python lists."""
+        if self._next_rows is None:
+            self._next_rows = self._next_index.tolist()
+        return self._next_rows
+
+
+class TransitionTable(ObligationTable):
+    """Reachable-state × input-grid view of one design's transition system."""
+
+    def __init__(
+        self,
+        system: TransitionSystem,
+        kernel: VectorKernel,
+        reachability: ReachabilityResult,
+    ):
+        super().__init__()
+        self._system = system
+        self._kernel = kernel
+        self.states: List[State] = list(reachability.states)
+        self.num_states = len(self.states)
+        grid = system.input_grid
+        self.num_inputs = len(grid)
+
+        self._packed_states = np.asarray(
+            [kernel.pack_state(state) for state in self.states], dtype=np.int64
+        )
+        self._packed_grid = kernel.pack_input_grid(grid)
+        self._index = PackedStateIndex(self._packed_states, sum(kernel.state_widths))
 
     # -- term support -----------------------------------------------------------
 
@@ -114,15 +175,7 @@ class TransitionTable:
             inputs_tiled = np.tile(self._packed_grid, count)
             env, next_packed = self._kernel.step_packed(states_rep, inputs_tiled)
             if need_next:
-                if self._lookup is not None:
-                    indices = self._lookup[next_packed]
-                else:
-                    lookup_dict = self._lookup_dict
-                    indices = np.fromiter(
-                        (lookup_dict.get(value, -1) for value in next_packed.tolist()),
-                        dtype=np.int64,
-                        count=lanes,
-                    )
+                indices = self._index.indices(next_packed)
                 self._next_index[start:stop] = indices.reshape(count, I)
             for expr, kernel in kernels:
                 values = _as_array(kernel(env), lanes)
@@ -131,24 +184,6 @@ class TransitionTable:
             # A complete reachable set is closed under step; a miss means the
             # caller handed us a truncated reachability result.
             raise ValueError("transition leaves the supplied reachable set")
-
-    def truth(self, expr: ast.Expr) -> np.ndarray:
-        """Boolean (states × inputs) truth matrix for a lowered term."""
-        return self._truth[expr]
-
-    def truth_rows(self, expr: ast.Expr) -> List[List[bool]]:
-        """`truth` as nested Python lists (fast scalar indexing in sweeps)."""
-        rows = self._truth_rows.get(expr)
-        if rows is None:
-            rows = self._truth[expr].tolist()
-            self._truth_rows[expr] = rows
-        return rows
-
-    def next_rows(self) -> List[List[int]]:
-        """Next-state indices as nested Python lists."""
-        if self._next_rows is None:
-            self._next_rows = self._next_index.tolist()
-        return self._next_rows
 
     # -- witness materialisation ------------------------------------------------
 

@@ -69,6 +69,8 @@ class TransitionSystem:
         self._max_input_bits = max_input_bits
         self._step_cache: Dict[Tuple[State, InputVector], TransitionStep] = {}
         self._step_cache_limit = 200_000
+        self._step_cache_hits = 0
+        self._step_cache_misses = 0
         #: Signals kept in cached/returned step environments; None = all.
         self._observed: Optional[frozenset] = None
         self._input_grid: Optional[Tuple[InputVector, ...]] = None
@@ -253,7 +255,9 @@ class TransitionSystem:
         key = (state, tuple(inputs.get(name, 0) for name in self._input_names))
         cached = self._step_cache.get(key)
         if cached is not None:
+            self._step_cache_hits += 1
             return TransitionStep(env=dict(cached.env), next_state=cached.next_state)
+        self._step_cache_misses += 1
         step = self._compute_step(state, inputs)
         env = step.env
         if self._observed is not None:
@@ -267,10 +271,12 @@ class TransitionSystem:
         return step
 
     def step_cache_info(self) -> Dict[str, int]:
-        """Size/limit snapshot of the memo cache (for tests and diagnostics)."""
+        """Size/limit/hit-rate snapshot of the memo cache."""
         return {
             "entries": len(self._step_cache),
             "limit": self._step_cache_limit,
+            "hits": self._step_cache_hits,
+            "misses": self._step_cache_misses,
             "env_signals": (
                 len(self._observed)
                 if self._observed is not None

@@ -315,6 +315,65 @@ class Module:
         return [item for item in self.items if isinstance(item, kind)]
 
 
+def clone_stmt(stmt: Stmt) -> Stmt:
+    """Copy a statement tree's mutable skeleton, sharing expression nodes.
+
+    Expression nodes are frozen (immutable) dataclasses, so an editable copy
+    of a statement tree — what mutation operators need — only has to rebuild
+    the statements themselves.  This is an order of magnitude cheaper than
+    ``copy.deepcopy`` on expression-heavy designs.
+    """
+    if isinstance(stmt, Block):
+        return Block(statements=[clone_stmt(inner) for inner in stmt.statements])
+    if isinstance(stmt, Assignment):
+        return Assignment(target=stmt.target, value=stmt.value, blocking=stmt.blocking)
+    if isinstance(stmt, If):
+        return If(
+            condition=stmt.condition,
+            then_body=clone_stmt(stmt.then_body),
+            else_body=clone_stmt(stmt.else_body) if stmt.else_body is not None else None,
+        )
+    if isinstance(stmt, Case):
+        return Case(
+            subject=stmt.subject,
+            items=[
+                CaseItem(labels=list(item.labels), body=clone_stmt(item.body))
+                for item in stmt.items
+            ],
+            default=clone_stmt(stmt.default) if stmt.default is not None else None,
+            wildcard=stmt.wildcard,
+        )
+    raise TypeError(f"cannot clone statement {stmt!r}")
+
+
+def clone_module(module: Module) -> Module:
+    """An editable copy of a module, sharing every immutable node.
+
+    Declarations, sensitivity lists, and expressions are shared with the
+    original (mutation never edits them in place); continuous assigns,
+    always/initial blocks, and statements — the nodes operators rewrite —
+    are fresh objects.
+    """
+    items: List[ModuleItem] = []
+    for item in module.items:
+        if isinstance(item, ContinuousAssign):
+            items.append(ContinuousAssign(target=item.target, value=item.value))
+        elif isinstance(item, AlwaysBlock):
+            items.append(
+                AlwaysBlock(sensitivity=item.sensitivity, body=clone_stmt(item.body))
+            )
+        elif isinstance(item, InitialBlock):
+            items.append(InitialBlock(body=clone_stmt(item.body)))
+        else:
+            items.append(item)
+    return Module(
+        name=module.name,
+        port_order=list(module.port_order),
+        header_params=list(module.header_params),
+        items=items,
+    )
+
+
 @dataclass
 class SourceFile:
     """A parsed source file containing one or more modules."""

@@ -81,6 +81,14 @@ class MutationConfig:
     #: Drop mutants with no detectable semantic difference from the golden
     #: design (stillborn mutants are always dropped).
     semantic_filter: bool = True
+    #: Schedule whole families (golden + mutants) as one vectorized unit;
+    #: off = the reference per-mutant design batches.  Verdict outcomes are
+    #: identical either way, so this is excluded from :meth:`identity`.
+    family_batching: bool = True
+    #: Harvest cheap kills by checking assertions against each mutant's
+    #: difference-witness trace before the full table search (family path
+    #: only; outcome-identical, so also excluded from :meth:`identity`).
+    witness_screen: bool = True
 
     def identity(self) -> Dict:
         """Normalised form stored in completion markers.
@@ -90,6 +98,9 @@ class MutationConfig:
         higher mutant cap must re-enumerate instead of silently returning
         the smaller earlier sweep.  Resolving through the operator library
         also validates the names (``KeyError`` on unknown operators).
+        Throughput-only knobs (family batching, the witness pre-screen) are
+        left out: they never change an outcome, so a rerun may flip them and
+        still resume.
         """
         return {
             "operators": sorted(op.name for op in resolve_operators(self.operators)),
@@ -437,11 +448,26 @@ class MutationCampaign:
         if not work:
             return cached
 
-        jobs = [
-            (mutant.design, [texts[position] for position in missing])
-            for mutant, missing in work
-        ]
-        verdict_lists = self._service.check_many(jobs)
+        if self._config.family_batching:
+            # One family job: the golden design and every mutant still owing
+            # records sweep the union of their missing assertions together.
+            union = sorted({position for _, missing in work for position in missing})
+            union_texts = [texts[position] for position in union]
+            slot_of = {position: slot for slot, position in enumerate(union)}
+            family_verdicts = self._service.check_families(
+                [(design, [mutant for mutant, _ in work], union_texts)],
+                witness_screen=self._config.witness_screen,
+            )[0]
+            verdict_lists = [
+                [verdicts[slot_of[position]] for position in missing]
+                for (_, missing), verdicts in zip(work, family_verdicts)
+            ]
+        else:
+            jobs = [
+                (mutant.design, [texts[position] for position in missing])
+                for mutant, missing in work
+            ]
+            verdict_lists = self._service.check_many(jobs)
 
         fresh: List[MutationRecord] = []
         for (mutant, missing), verdicts in zip(work, verdict_lists):

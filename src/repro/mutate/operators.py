@@ -33,13 +33,12 @@ returns is killable in principle.
 
 from __future__ import annotations
 
-import copy
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..hdl import ast
 from ..hdl.design import Design
-from ..hdl.elaborate import RtlModel
+from ..hdl.elaborate import RtlModel, elaborate
 from ..hdl.errors import HdlError
 from ..hdl.render import render_module
 from ..sim.eval import EvalError
@@ -507,23 +506,36 @@ def mutation_sites(
 def apply_mutation(design: Design, operator_name: str, site: int) -> Design:
     """Build the mutant design for one ``(operator, site)`` address.
 
-    Raises :class:`IndexError` for an out-of-range site and propagates parse
-    or elaboration errors for stillborn mutants.
+    Raises :class:`IndexError` for an out-of-range site and propagates
+    elaboration errors for stillborn mutants.  The mutant is elaborated
+    directly from the mutated module AST; its source text is the rendered
+    module, so the content address (source fingerprint) is exactly what
+    re-parsing would produce — the render→parse round-trip suite pins the
+    two forms structurally equal.
     """
     (operator,) = resolve_operators([operator_name])
-    module = copy.deepcopy(design.module)
+    module = ast.clone_module(design.module)
     session = _run_session(module, design.model, operator, target=site)
     if not session.applied:
         raise IndexError(
             f"{operator_name} has {len(session.descriptions)} sites in "
             f"{design.name}, requested {site}"
         )
-    return Design.from_source(
-        render_module(module),
+    model = elaborate(module)
+    return Design(
         name=f"{design.name}~{operator_name}@{site}",
+        source=render_module(module),
+        module=module,
+        model=model,
+        design_type="sequential" if model.is_sequential else "combinational",
         functionality=design.functionality,
         category=design.category,
     )
+
+
+#: Sentinel classification for a candidate whose semantic comparison raised
+#: (distinct from ``None``, which means "no difference detectable").
+_STILLBORN = object()
 
 
 def _interleave(groups: List[List[MutationSite]]) -> Iterator[MutationSite]:
@@ -572,35 +584,62 @@ def enumerate_mutants(
 
     mutants: List[Mutant] = []
     seen = 0
-    for site in _interleave(per_operator):
-        if limit is not None and len(mutants) >= limit:
-            stats.truncated = stats.sites - seen
-            break
-        seen += 1
-        try:
-            mutated = apply_mutation(design, site.operator, site.index)
-        except (HdlError, EvalError, ValueError, RecursionError):
-            stats.stillborn += 1
-            continue
-        witness = None
-        if context is not None:
+    sites = iter(_interleave(per_operator))
+    exhausted = False
+    while not exhausted and (limit is None or len(mutants) < limit):
+        # One wave: apply just enough candidates to (possibly) fill the
+        # remaining budget, then semantically filter the whole wave against
+        # the golden design in one batched family sweep.  Per-candidate
+        # classification — and therefore the stats and the viable set — is
+        # identical to filtering one candidate at a time.
+        need = (limit - len(mutants)) if limit is not None else None
+        wave: List[Tuple[MutationSite, Design]] = []
+        while need is None or len(wave) < need:
+            site = next(sites, None)
+            if site is None:
+                exhausted = True
+                break
+            seen += 1
             try:
-                witness = context.difference(mutated)
-            except (HdlError, EvalError, RecursionError):
+                mutated = apply_mutation(design, site.operator, site.index)
+            except (HdlError, EvalError, ValueError, RecursionError):
                 stats.stillborn += 1
                 continue
-            if witness is None:
+            wave.append((site, mutated))
+        if not wave:
+            break
+        if context is not None:
+            try:
+                witnesses = context.differences([mutated for _, mutated in wave])
+            except (HdlError, EvalError, RecursionError):
+                # A whole-wave failure is indistinguishable from which
+                # candidate caused it; classify one at a time instead.
+                witnesses = []
+                for _, mutated in wave:
+                    try:
+                        witnesses.append(context.difference(mutated))
+                    except (HdlError, EvalError, RecursionError):
+                        witnesses.append(_STILLBORN)
+        else:
+            witnesses = [None] * len(wave)
+        for (site, mutated), witness in zip(wave, witnesses):
+            if witness is _STILLBORN:
+                stats.stillborn += 1
+                continue
+            if context is not None and witness is None:
                 stats.equivalent += 1
                 continue
-        mutants.append(
-            Mutant(
-                golden_name=design.name,
-                operator=site.operator,
-                site=site.index,
-                description=site.description,
-                design=mutated,
-                witness=witness,
+            mutants.append(
+                Mutant(
+                    golden_name=design.name,
+                    operator=site.operator,
+                    site=site.index,
+                    description=site.description,
+                    design=mutated,
+                    witness=witness,
+                )
             )
-        )
+    if limit is not None and len(mutants) >= limit:
+        stats.truncated = stats.sites - seen
     stats.viable = len(mutants)
     return mutants, stats

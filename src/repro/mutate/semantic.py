@@ -29,15 +29,35 @@ Two strategies, mirroring the FPV engine's proof strategies:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 from ..fpv.transition import TransitionSystem, enumerate_reachable
 from ..hdl.design import Design
+from ..sim.compile import VECTORIZED
 from ..sim.simulator import Simulator
 from ..sim.stimulus import RandomStimulus, ResetSequenceStimulus
 from ..sim.trace import Trace
 
-__all__ = ["DifferenceWitness", "SemanticContext", "semantic_difference"]
+__all__ = [
+    "DifferenceWitness",
+    "SemanticContext",
+    "WITNESS_CYCLES",
+    "semantic_difference",
+    "witness_stimulus",
+]
+
+#: Bounded lockstep-simulation budget of the semantic filter.  The FPV
+#: witness pre-screen replays exactly these traces, so the constants and the
+#: stimulus recipe below are the single source of truth for both.
+WITNESS_CYCLES = 96
+WITNESS_RESET_CYCLES = 2
+
+
+def witness_stimulus(seed: int) -> ResetSequenceStimulus:
+    """The stimulus a difference witness's trace was recorded under."""
+    return ResetSequenceStimulus(
+        RandomStimulus(seed=seed), reset_cycles=WITNESS_RESET_CYCLES
+    )
 
 
 @dataclass(frozen=True)
@@ -54,6 +74,9 @@ class DifferenceWitness:
     inputs: Dict[str, int] = field(default_factory=dict)
     #: Stimulus cycle of the divergence (simulation) — 0 for the sweep.
     cycle: int = 0
+    #: Stimulus seed the divergence was observed under (simulation) — lets
+    #: the witness trace be replayed, e.g. by the FPV pre-screen.
+    seed: int = 0
 
     def describe(self) -> str:
         where = (
@@ -83,13 +106,17 @@ class SemanticContext:
         max_states: int = 1024,
         max_transitions: int = 40_000,
         sweep_budget: int = 60_000,
-        cycles: int = 96,
+        cycles: int = WITNESS_CYCLES,
         seeds: int = 2,
     ):
         self.golden = golden
         self._cycles = cycles
         self._seeds = seeds
-        self._system = TransitionSystem(golden)
+        # The filter is backend-neutral (every backend enumerates the same
+        # reachable set, bit for bit), so it always asks for the vectorized
+        # walk; systems the lowering rejects — or a missing NumPy — fall
+        # back to the scalar step transparently.
+        self._system = TransitionSystem(golden, backend=VECTORIZED)
         self._reachability = None
         self._sweep_feasible = False
         if self._system.can_enumerate_inputs:
@@ -113,6 +140,163 @@ class SemanticContext:
         if self._sweep_feasible:
             return self._sweep_difference(mutant)
         return self._simulation_difference(mutant)
+
+    def differences(self, mutants: Sequence[Design]) -> List[Optional[DifferenceWitness]]:
+        """:meth:`difference` for a whole candidate batch in one family sweep.
+
+        Candidates that share the golden design's AST skeleton are lowered
+        into one :class:`~repro.sim.vector.FamilyKernel` and compared against
+        the golden design together — every (reachable state × input) pair,
+        or every simulated cycle, for all of them in one batched kernel pass.
+        Candidates the lowering rejects fall back to the scalar
+        :meth:`difference`.  Witnesses (signal, values, location, method) are
+        bit-identical to the scalar comparison either way.
+        """
+        results: List[Optional[DifferenceWitness]] = [None] * len(mutants)
+        if not mutants:
+            return results
+        try:
+            from ..sim.vector import lower_family
+        except ImportError:  # pragma: no cover - numpy not installed
+            lower_family = None
+        lowering = None
+        if lower_family is not None:
+            lowering = lower_family(self.golden.model, [mutant.model for mutant in mutants])
+        handled: set = set()
+        if lowering is not None:
+            accepted = lowering.accepted()
+            if accepted:
+                if self._sweep_feasible:
+                    found = self._sweep_differences_batched(lowering, accepted)
+                else:
+                    found = self._simulation_differences_batched(lowering, accepted, mutants)
+                for position in accepted:
+                    results[position] = found.get(position)
+                handled = set(accepted)
+        for position, mutant in enumerate(mutants):
+            if position not in handled:
+                results[position] = self.difference(mutant)
+        return results
+
+    def _sweep_differences_batched(self, lowering, accepted) -> Dict[int, DifferenceWitness]:
+        """Complete reachable-space comparison of many mutants in one pass."""
+        import numpy as np
+
+        kernel = lowering.kernel
+        system = self._system
+        states = self._reachability.states
+        grid = system.input_grid
+        num_inputs = len(grid)
+        packed_states = np.asarray([kernel.pack_state(state) for state in states], dtype=np.int64)
+        packed_grid = kernel.pack_input_grid(grid)
+        input_dicts = system.input_dicts()
+        signals = list(self.golden.model.signals)
+
+        found: Dict[int, DifferenceWitness] = {}
+        active = [(position, lowering.member_ids[position]) for position in accepted]
+        per_state = max(num_inputs * (len(active) + 1), 1)
+        chunk_states = max(1, (1 << 18) // per_state)
+        for start in range(0, len(states), chunk_states):
+            if not active:
+                break
+            stop = min(start + chunk_states, len(states))
+            count = stop - start
+            lanes_per = count * num_inputs
+            members = [0] + [member for _, member in active]
+            member_col = np.repeat(np.asarray(members, dtype=np.int64), lanes_per)
+            states_rep = np.tile(np.repeat(packed_states[start:stop], num_inputs), len(members))
+            inputs_tiled = np.tile(packed_grid, count * len(members))
+            env, nxt = kernel.family_step_packed(member_col, states_rep, inputs_tiled)
+            golden_next = nxt[:lanes_per]
+            still_active = []
+            for row, (position, member) in enumerate(active):
+                lo = (row + 1) * lanes_per
+                diff_any = np.zeros(lanes_per, dtype=bool)
+                for signal in signals:
+                    diff_any |= env[signal][lo : lo + lanes_per] != env[signal][:lanes_per]
+                diff_any |= nxt[lo : lo + lanes_per] != golden_next
+                if not diff_any.any():
+                    still_active.append((position, member))
+                    continue
+                lane = int(np.argmax(diff_any))
+                state_values = system.state_dict(states[start + lane // num_inputs])
+                inputs = dict(input_dicts[lane % num_inputs])
+                witness = None
+                for signal in signals:
+                    golden_value = int(env[signal][lane])
+                    mutant_value = int(env[signal][lo + lane])
+                    if golden_value != mutant_value:
+                        witness = DifferenceWitness(
+                            signal=signal,
+                            golden_value=golden_value,
+                            mutant_value=mutant_value,
+                            method="state-sweep",
+                            state=dict(state_values),
+                            inputs=inputs,
+                        )
+                        break
+                if witness is None:
+                    golden_regs = kernel.unpack_state(int(golden_next[lane]))
+                    mutant_regs = kernel.unpack_state(int(nxt[lo + lane]))
+                    name, golden_value, mutant_value = next(
+                        (name, g, m)
+                        for name, g, m in zip(kernel.state_names, golden_regs, mutant_regs)
+                        if g != m
+                    )
+                    witness = DifferenceWitness(
+                        signal=name,
+                        golden_value=golden_value,
+                        mutant_value=mutant_value,
+                        method="state-sweep",
+                        state=dict(state_values),
+                        inputs=inputs,
+                    )
+                found[position] = witness
+            active = still_active
+        return found
+
+    def _simulation_differences_batched(
+        self, lowering, accepted, mutants: Sequence[Design]
+    ) -> Dict[int, DifferenceWitness]:
+        """Bounded lockstep comparison with all mutant traces in one batch."""
+        stimuli = [self._stimulus(seed) for seed in range(self._seeds)]
+        members = [lowering.member_ids[position] for position in accepted]
+        member_traces = lowering.kernel.family_simulate(members, stimuli, self._cycles)
+        found: Dict[int, DifferenceWitness] = {}
+        for row, position in enumerate(accepted):
+            for seed in range(self._seeds):
+                golden_trace = self._golden_trace(seed)
+                mutant_trace = member_traces[row][seed]
+                witness = self._trace_difference(golden_trace, mutant_trace, seed)
+                if witness is not None:
+                    found[position] = witness
+                    break
+        return found
+
+    def _trace_difference(
+        self, golden_trace: Trace, mutant_trace: Trace, seed: int
+    ) -> Optional[DifferenceWitness]:
+        """First cycle-level divergence between two traces (scalar order)."""
+        span = min(golden_trace.num_cycles, mutant_trace.num_cycles)
+        for cycle in range(span):
+            golden_row = golden_trace.row(cycle)
+            mutant_row = mutant_trace.row(cycle)
+            for signal, golden_value in golden_row.items():
+                mutant_value = mutant_row.get(signal, 0)
+                if golden_value != mutant_value:
+                    return DifferenceWitness(
+                        signal=signal,
+                        golden_value=golden_value,
+                        mutant_value=mutant_value,
+                        method="simulation",
+                        inputs={
+                            name: mutant_row.get(name, 0)
+                            for name in self.golden.model.non_clock_inputs
+                        },
+                        cycle=cycle,
+                        seed=seed,
+                    )
+        return None
 
     # -- complete reachable-state sweep -----------------------------------------
 
@@ -159,7 +343,7 @@ class SemanticContext:
     # -- bounded lockstep simulation --------------------------------------------
 
     def _stimulus(self, seed: int) -> ResetSequenceStimulus:
-        return ResetSequenceStimulus(RandomStimulus(seed=seed), reset_cycles=2)
+        return witness_stimulus(seed)
 
     def _golden_trace(self, seed: int) -> Trace:
         if self._golden_traces is None:
@@ -175,24 +359,9 @@ class SemanticContext:
             mutant_trace = Simulator(mutant).run(
                 cycles=self._cycles, stimulus=self._stimulus(seed)
             )
-            span = min(golden_trace.num_cycles, mutant_trace.num_cycles)
-            for cycle in range(span):
-                golden_row = golden_trace.row(cycle)
-                mutant_row = mutant_trace.row(cycle)
-                for signal, golden_value in golden_row.items():
-                    mutant_value = mutant_row.get(signal, 0)
-                    if golden_value != mutant_value:
-                        return DifferenceWitness(
-                            signal=signal,
-                            golden_value=golden_value,
-                            mutant_value=mutant_value,
-                            method="simulation",
-                            inputs={
-                                name: mutant_row.get(name, 0)
-                                for name in self.golden.model.non_clock_inputs
-                            },
-                            cycle=cycle,
-                        )
+            witness = self._trace_difference(golden_trace, mutant_trace, seed)
+            if witness is not None:
+                return witness
         return None
 
 
@@ -203,7 +372,7 @@ def semantic_difference(
     max_states: int = 1024,
     max_transitions: int = 40_000,
     sweep_budget: int = 60_000,
-    cycles: int = 96,
+    cycles: int = WITNESS_CYCLES,
     seeds: int = 2,
 ) -> Optional[DifferenceWitness]:
     """One-shot wrapper over :class:`SemanticContext` for a single mutant."""

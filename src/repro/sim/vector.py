@@ -24,6 +24,7 @@ scalar backends remain the reference oracles.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -314,7 +315,12 @@ class VectorExprCompiler:
             return lambda cols: _to_int(fn(left(cols), right(cols)))
         if op in ("<<", "<<<", ">>", ">>>"):
             left_width = self.width_of(expr.left)
-            left_mask = (1 << left_width) - 1
+            # The *declared* width can exceed int64 lanes (e.g. a concat of
+            # width-less constants defaults to 32 bits apiece) even when the
+            # value-bits analysis proved the value itself fits; the lane
+            # values stay below 2**62, so a 63-bit mask is exact and avoids
+            # building a mask no int64 can hold.
+            left_mask = (1 << min(left_width, 63)) - 1
             if op in (">>", ">>>"):
 
                 def shr(cols: Cols) -> np.ndarray:
@@ -680,7 +686,7 @@ class VectorKernel:
 
     def __init__(self, model: RtlModel):
         self._model = model
-        self.exprs = VectorExprCompiler(model)
+        self.exprs = self._make_expr_compiler(model)
         self._stmts = VectorStmtCompiler(model, self.exprs)
 
         assigns = tuple(
@@ -716,6 +722,9 @@ class VectorKernel:
                 raise UnsupportedForVectorization(
                     f"signal {name!r} ({signal.width} bits) exceeds int64 lanes"
                 )
+
+    def _make_expr_compiler(self, model: RtlModel) -> VectorExprCompiler:
+        return VectorExprCompiler(model)
 
     @property
     def model(self) -> RtlModel:
@@ -877,6 +886,416 @@ def lower_model(model: RtlModel) -> Optional[VectorKernel]:
         return VectorKernel(model)
     except (UnsupportedForVectorization, EvalError):
         return None
+
+
+# ---------------------------------------------------------------------------
+# Family lowering: one kernel for a design and all of its mutants
+# ---------------------------------------------------------------------------
+
+#: Reserved lane column selecting the family member evaluated on that lane
+#: (0 = the golden design, ``i + 1`` = the i-th accepted mutant).
+MUTANT_COLUMN = "__mutant__"
+
+#: Lane id of the golden design inside a family kernel.
+GOLDEN_MEMBER = 0
+
+
+class _FamilyExprCompiler(VectorExprCompiler):
+    """Expression compiler with per-lane member selection at mutation sites.
+
+    ``patches`` maps the object identity of a golden expression slot to the
+    variant expressions of individual family members.  At a patched slot the
+    compiled kernel evaluates the golden expression for every lane, then
+    overlays each member's variant on the lanes carrying that member id (the
+    ``MUTANT_COLUMN`` environment column).  Everywhere else compilation is
+    the ordinary structurally-cached golden lowering, so members share every
+    unmutated kernel.
+
+    A variant that cannot be lowered rejects only its member: the patch is
+    dropped, the member lands in ``rejected``, and the caller falls back to
+    the per-mutant compiled path for it.
+    """
+
+    def __init__(self, model: RtlModel, patches: Dict[int, Dict[int, ast.Expr]],
+                 rejected: Dict[int, str]):
+        super().__init__(model)
+        self._patches = patches
+        self._rejected = rejected
+        self._family_cache: Dict[int, VecKernel] = {}
+        self._plain_depth = 0
+
+    def compile(self, expr: ast.Expr) -> VecKernel:
+        if self._plain_depth:
+            # Variant compilation: a variant may *contain* its own slot node
+            # (e.g. negate-cond wraps the golden condition in place), and
+            # there it means "the golden expression", never the selector —
+            # intercepting would recurse forever.
+            return super().compile(expr)
+        variants = self._patches.get(id(expr))
+        if variants is None:
+            return super().compile(expr)
+        kernel = self._family_cache.get(id(expr))
+        if kernel is None:
+            kernel = self._build_family(expr, variants)
+            self._family_cache[id(expr)] = kernel
+        return kernel
+
+    def _build_family(self, expr: ast.Expr, variants: Dict[int, ast.Expr]) -> VecKernel:
+        self._plain_depth += 1
+        try:
+            golden = super().compile(expr)
+            pairs = []
+            for member, variant in sorted(variants.items()):
+                if member in self._rejected:
+                    continue
+                try:
+                    pairs.append((member, super().compile(variant)))
+                except (UnsupportedForVectorization, EvalError) as exc:
+                    self._rejected[member] = str(exc)
+        finally:
+            self._plain_depth -= 1
+        if not pairs:
+            return golden
+        pairs_t = tuple(pairs)
+
+        def family(cols: Cols) -> np.ndarray:
+            members = cols[MUTANT_COLUMN]
+            lanes = len(members)
+            value = _as_array(golden(cols), lanes)
+            for member, variant in pairs_t:
+                mask = np.equal(members, member)
+                if mask.any():
+                    value = np.where(mask, _as_array(variant(cols), lanes), value)
+            return value
+
+        return family
+
+
+class _StructureMismatch(Exception):
+    """Golden and mutant models do not share one AST skeleton."""
+
+
+def _diff_exprs(golden: ast.Expr, mutant: ast.Expr, diffs: List) -> None:
+    if golden != mutant:
+        diffs.append((golden, mutant))
+
+
+def _diff_stmts(golden: ast.Stmt, mutant: ast.Stmt, diffs: List) -> None:
+    """Zip-walk two statement trees, collecting differing expression slots.
+
+    Raises :class:`_StructureMismatch` when the trees differ in anything but
+    expression content (statement kinds, nesting, targets, blocking-ness) —
+    a mutant shaped like that cannot ride the golden skeleton.
+    """
+    if type(golden) is not type(mutant):
+        raise _StructureMismatch()
+    if isinstance(golden, ast.Block):
+        if len(golden.statements) != len(mutant.statements):
+            raise _StructureMismatch()
+        for inner_g, inner_m in zip(golden.statements, mutant.statements):
+            _diff_stmts(inner_g, inner_m, diffs)
+    elif isinstance(golden, ast.Assignment):
+        if golden.blocking != mutant.blocking or golden.target != mutant.target:
+            raise _StructureMismatch()
+        _diff_exprs(golden.value, mutant.value, diffs)
+    elif isinstance(golden, ast.If):
+        _diff_exprs(golden.condition, mutant.condition, diffs)
+        _diff_stmts(golden.then_body, mutant.then_body, diffs)
+        if (golden.else_body is None) != (mutant.else_body is None):
+            raise _StructureMismatch()
+        if golden.else_body is not None:
+            _diff_stmts(golden.else_body, mutant.else_body, diffs)
+    elif isinstance(golden, ast.Case):
+        _diff_exprs(golden.subject, mutant.subject, diffs)
+        if len(golden.items) != len(mutant.items):
+            raise _StructureMismatch()
+        for item_g, item_m in zip(golden.items, mutant.items):
+            if len(item_g.labels) != len(item_m.labels):
+                raise _StructureMismatch()
+            for label_g, label_m in zip(item_g.labels, item_m.labels):
+                _diff_exprs(label_g, label_m, diffs)
+            _diff_stmts(item_g.body, item_m.body, diffs)
+        if (golden.default is None) != (mutant.default is None):
+            raise _StructureMismatch()
+        if golden.default is not None:
+            _diff_stmts(golden.default, mutant.default, diffs)
+    else:
+        raise _StructureMismatch()
+
+
+def _diff_models(golden: RtlModel, mutant: RtlModel) -> List:
+    """Expression slots where ``mutant`` departs from the golden skeleton.
+
+    Returns ``[(golden slot node, variant expression), ...]`` or raises
+    :class:`_StructureMismatch`.  Everything that shapes the kernel outside
+    expression content — signals, widths, state ordering, initial values,
+    process structure, clocking — must match exactly.
+    """
+    diffs: List = []
+    if (
+        [(s.name, s.width, s.kind, s.is_state) for s in golden.signals.values()]
+        != [(s.name, s.width, s.kind, s.is_state) for s in mutant.signals.values()]
+        or golden.parameters != mutant.parameters
+        or golden.inputs != mutant.inputs
+        or golden.outputs != mutant.outputs
+        or golden.state_regs != mutant.state_regs
+        or golden.initial_values != mutant.initial_values
+        or golden.clocks != mutant.clocks
+        or golden.resets != mutant.resets
+        or len(golden.assigns) != len(mutant.assigns)
+        or len(golden.comb_processes) != len(mutant.comb_processes)
+        or len(golden.seq_processes) != len(mutant.seq_processes)
+    ):
+        raise _StructureMismatch()
+    for assign_g, assign_m in zip(golden.assigns, mutant.assigns):
+        if assign_g.target != assign_m.target or assign_g.target_name != assign_m.target_name:
+            raise _StructureMismatch()
+        _diff_exprs(assign_g.value, assign_m.value, diffs)
+    for comb_g, comb_m in zip(golden.comb_processes, mutant.comb_processes):
+        if comb_g.targets != comb_m.targets:
+            raise _StructureMismatch()
+        _diff_stmts(comb_g.body, comb_m.body, diffs)
+    for seq_g, seq_m in zip(golden.seq_processes, mutant.seq_processes):
+        if (
+            seq_g.clock != seq_m.clock
+            or seq_g.clock_edge != seq_m.clock_edge
+            or seq_g.async_resets != seq_m.async_resets
+            or seq_g.targets != seq_m.targets
+        ):
+            raise _StructureMismatch()
+        _diff_stmts(seq_g.body, seq_m.body, diffs)
+    return diffs
+
+
+def _collect_expr_ids(expr: ast.Expr, counts: Dict[int, int]) -> None:
+    counts[id(expr)] = counts.get(id(expr), 0) + 1
+    if isinstance(expr, ast.Unary):
+        _collect_expr_ids(expr.operand, counts)
+    elif isinstance(expr, ast.Binary):
+        _collect_expr_ids(expr.left, counts)
+        _collect_expr_ids(expr.right, counts)
+    elif isinstance(expr, ast.Ternary):
+        _collect_expr_ids(expr.cond, counts)
+        _collect_expr_ids(expr.then, counts)
+        _collect_expr_ids(expr.otherwise, counts)
+    elif isinstance(expr, ast.BitSelect):
+        _collect_expr_ids(expr.base, counts)
+        _collect_expr_ids(expr.index, counts)
+    elif isinstance(expr, ast.PartSelect):
+        _collect_expr_ids(expr.base, counts)
+        _collect_expr_ids(expr.msb, counts)
+        _collect_expr_ids(expr.lsb, counts)
+    elif isinstance(expr, ast.Concat):
+        for part in expr.parts:
+            _collect_expr_ids(part, counts)
+    elif isinstance(expr, ast.Replicate):
+        _collect_expr_ids(expr.count, counts)
+        _collect_expr_ids(expr.value, counts)
+
+
+def _collect_stmt_expr_ids(stmt: ast.Stmt, counts: Dict[int, int]) -> None:
+    if isinstance(stmt, ast.Block):
+        for inner in stmt.statements:
+            _collect_stmt_expr_ids(inner, counts)
+    elif isinstance(stmt, ast.Assignment):
+        _collect_expr_ids(stmt.target, counts)
+        _collect_expr_ids(stmt.value, counts)
+    elif isinstance(stmt, ast.If):
+        _collect_expr_ids(stmt.condition, counts)
+        _collect_stmt_expr_ids(stmt.then_body, counts)
+        if stmt.else_body is not None:
+            _collect_stmt_expr_ids(stmt.else_body, counts)
+    elif isinstance(stmt, ast.Case):
+        _collect_expr_ids(stmt.subject, counts)
+        for item in stmt.items:
+            for label in item.labels:
+                _collect_expr_ids(label, counts)
+            _collect_stmt_expr_ids(item.body, counts)
+        if stmt.default is not None:
+            _collect_stmt_expr_ids(stmt.default, counts)
+
+
+def _model_expr_id_counts(model: RtlModel) -> Dict[int, int]:
+    """Occurrence counts of every expression node object in the model.
+
+    A golden slot node that is shared (the same object reachable from two
+    positions) cannot be patched by identity — selecting the variant at one
+    occurrence would silently select it at the other too.
+    """
+    counts: Dict[int, int] = {}
+    for assign in model.assigns:
+        _collect_expr_ids(assign.target, counts)
+        _collect_expr_ids(assign.value, counts)
+    for process in model.comb_processes:
+        _collect_stmt_expr_ids(process.body, counts)
+    for process in model.seq_processes:
+        _collect_stmt_expr_ids(process.body, counts)
+    return counts
+
+
+class FamilyKernel(VectorKernel):
+    """A :class:`VectorKernel` over a golden model plus mutation-site patches.
+
+    Lanes carry a member id in the :data:`MUTANT_COLUMN` environment column;
+    every compiled expression kernel resolves patched slots per lane, so one
+    ``step`` advances an arbitrary mix of family members.  Member 0 is the
+    golden design and is bit-identical to ``VectorKernel(golden_model)``.
+    """
+
+    def __init__(self, model: RtlModel, patches: Dict[int, Dict[int, ast.Expr]],
+                 rejected: Dict[int, str]):
+        self._patches = patches
+        self._rejected_members = rejected
+        super().__init__(model)
+
+    def _make_expr_compiler(self, model: RtlModel) -> VectorExprCompiler:
+        return _FamilyExprCompiler(model, self._patches, self._rejected_members)
+
+    # -- family environments ----------------------------------------------------
+
+    def family_step_batch(
+        self,
+        members: np.ndarray,
+        state_cols: Cols,
+        input_cols: Cols,
+        lanes: int,
+    ) -> Tuple[Cols, Cols]:
+        """:meth:`step_batch` with a per-lane family-member id column."""
+        env = self.blank_env(lanes)
+        env[MUTANT_COLUMN] = np.asarray(members, dtype=np.int64)
+        for name in self.state_names:
+            env[name] = np.asarray(state_cols[name], dtype=np.int64)
+        for name in self.input_names:
+            column = input_cols.get(name)
+            if column is None:
+                continue
+            mask = self._model.signals[name].mask
+            env[name] = np.asarray(column, dtype=np.int64) & mask
+        self.settle(env)
+        return env, self.next_state_columns(env, lanes)
+
+    def family_step_packed(
+        self,
+        members: np.ndarray,
+        packed_states: np.ndarray,
+        packed_inputs: np.ndarray,
+    ) -> Tuple[Cols, np.ndarray]:
+        """`family_step_batch` over bit-packed state/input lanes."""
+        lanes = len(packed_states)
+        env, next_cols = self.family_step_batch(
+            members,
+            unpack_columns(packed_states, self.state_names, self.state_widths),
+            unpack_columns(packed_inputs, self.input_names, self.input_widths),
+            lanes,
+        )
+        return env, pack_columns(next_cols, self.state_names, self.state_widths, lanes)
+
+    def family_simulate(
+        self, members: Sequence[int], stimuli: Sequence, cycles: int
+    ) -> List[List[Trace]]:
+        """One trace per (family member, stimulus), stepped as one batch.
+
+        Lanes are member-major: all of member ``members[0]``'s stimuli, then
+        the next member's.  Each lane is bit-for-bit the trace the scalar
+        simulator would record for that member's design alone.
+        """
+        from .stimulus import stack_stimuli
+
+        model = self._model
+        signal_names = list(model.signals)
+        num_stimuli = len(stimuli)
+        lanes = len(members) * num_stimuli
+        stacked = stack_stimuli(stimuli, model, cycles)  # (cycles, stimuli)
+        member_col = np.repeat(np.asarray(list(members), dtype=np.int64), num_stimuli)
+
+        env = self.initial_env(lanes)
+        env[MUTANT_COLUMN] = member_col
+        if not self.settle(env):
+            raise CombinationalLoopError(
+                f"combinational logic of {model.name!r} did not settle"
+            )
+        columns: Dict[str, List[List[int]]] = {name: [] for name in signal_names}
+        sequential = bool(model.seq_processes)
+        for cycle in range(cycles):
+            for name in model.non_clock_inputs:
+                env[name] = np.tile(stacked[name][cycle], len(members))
+            if not self.settle(env):
+                raise CombinationalLoopError(
+                    f"combinational logic of {model.name!r} did not settle"
+                )
+            for name in signal_names:
+                columns[name].append(env[name].tolist())
+            if sequential:
+                next_cols = self.next_state_columns(env, lanes)
+                env.update(next_cols)
+                if not self.settle(env):
+                    raise CombinationalLoopError(
+                        f"combinational logic of {model.name!r} did not settle"
+                    )
+        traces: List[List[Trace]] = []
+        for position in range(len(members)):
+            member_traces = []
+            for stimulus_index in range(num_stimuli):
+                lane = position * num_stimuli + stimulus_index
+                trace = Trace(signals=list(signal_names), design_name=model.name)
+                for name in signal_names:
+                    trace.data[name] = [row[lane] for row in columns[name]]
+                member_traces.append(trace)
+            traces.append(member_traces)
+        return traces
+
+
+@dataclass
+class FamilyLowering:
+    """Result of :func:`lower_family`.
+
+    ``member_ids[i]`` is the lane id of the i-th mutant inside the kernel, or
+    ``None`` when that mutant could not join the family (structure mismatch,
+    un-lowerable variant expression, shared slot node) and must run on the
+    per-mutant fallback path; ``rejected`` carries the reasons.
+    """
+
+    kernel: FamilyKernel
+    member_ids: List[Optional[int]]
+    rejected: Dict[int, str]
+
+    def accepted(self) -> List[int]:
+        """Positions of the mutants the family kernel covers."""
+        return [i for i, member in enumerate(self.member_ids) if member is not None]
+
+
+def lower_family(
+    golden: RtlModel, mutants: Sequence[RtlModel]
+) -> Optional[FamilyLowering]:
+    """Lower a golden model and its mutants into one :class:`FamilyKernel`.
+
+    Returns ``None`` when the *golden* model itself cannot be vector-lowered
+    (every member then falls back).  Individual mutants that cannot share the
+    skeleton are rejected, not fatal.
+    """
+    patches: Dict[int, Dict[int, ast.Expr]] = {}
+    rejected: Dict[int, str] = {}
+    id_counts = _model_expr_id_counts(golden)
+    for position, mutant in enumerate(mutants):
+        member = position + 1
+        try:
+            diffs = _diff_models(golden, mutant)
+        except _StructureMismatch:
+            rejected[member] = "mutant does not share the golden AST skeleton"
+            continue
+        if any(id_counts.get(id(slot), 0) != 1 for slot, _ in diffs):
+            rejected[member] = "mutated slot node is shared within the golden model"
+            continue
+        for slot, variant in diffs:
+            patches.setdefault(id(slot), {})[member] = variant
+    try:
+        kernel = FamilyKernel(golden, patches, rejected)
+    except (UnsupportedForVectorization, EvalError):
+        return None
+    member_ids: List[Optional[int]] = [
+        None if (i + 1) in rejected else (i + 1) for i in range(len(mutants))
+    ]
+    return FamilyLowering(kernel=kernel, member_ids=member_ids, rejected=rejected)
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,252 @@
+"""Family-batched verification is bit-identical to the per-mutant path.
+
+``check_family`` must be semantically invisible: for every mutant of every
+design, the family sweep's :class:`ProofResult`s — status, reason, engine,
+completeness, explored-state counts, and counterexample cycles — equal what
+a standalone :class:`FormalEngine` produces for that mutant alone, and the
+delta-reachability walk reproduces the mutant's own BFS exactly.  Families
+that cannot ride the kernel (compiled backend, foreign members) must fall
+back without changing a single verdict.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.corpus import get_corpus
+from repro.fpv.engine import (
+    EngineConfig,
+    FormalEngine,
+    ReachabilityCache,
+    reachability_key,
+)
+from repro.fpv.incremental import FamilyStats, check_family
+from repro.fpv.transition import TransitionSystem, enumerate_reachable
+from repro.hdl.design import Design
+from repro.mining import mine_verified_assertions
+from repro.mutate.operators import enumerate_mutants
+from repro.mutate.semantic import semantic_difference
+
+_ENGINE = EngineConfig(
+    max_states=2048,
+    max_transitions=120_000,
+    max_input_bits=10,
+    max_state_bits=14,
+    max_path_evaluations=120_000,
+    fallback_cycles=128,
+    fallback_seeds=2,
+    backend="vectorized",
+)
+
+_DESIGN_NAMES = [
+    "d_flip_flop",
+    "counter",
+    "updown_counter4",
+    "mod6_counter",
+    "seq_detect_110",
+    "gray_counter4",
+]
+
+
+def _proof_key(proof):
+    cex = None
+    if proof.counterexample is not None:
+        cex = (
+            tuple(tuple(sorted(cycle.items())) for cycle in proof.counterexample.cycles),
+            proof.counterexample.trigger_cycle,
+            proof.counterexample.failed_term,
+        )
+    return (
+        proof.status,
+        proof.design_name,
+        proof.reason,
+        proof.engine,
+        proof.complete,
+        proof.states_explored,
+        proof.depth,
+        cex,
+    )
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return get_corpus("assertionbench-mutation")
+
+
+@pytest.fixture(scope="module")
+def families(corpus):
+    built = []
+    for name in _DESIGN_NAMES:
+        design = corpus.design(name)
+        mined = mine_verified_assertions(design)
+        texts = [assertion.to_sva(include_assert=True) for assertion in mined[:5]]
+        mutants, _ = enumerate_mutants(design, limit=8)
+        if texts and mutants:
+            built.append((design, mutants, texts))
+    assert built, "corpus produced no verifiable families"
+    return built
+
+
+def test_family_verdicts_bit_identical_over_corpus(families):
+    compared = 0
+    for design, mutants, texts in families:
+        cache = ReachabilityCache()
+        family = check_family(
+            design,
+            [mutant.design for mutant in mutants],
+            texts,
+            _ENGINE,
+            cache,
+            witnesses=[mutant.witness for mutant in mutants],
+            witness_screen=False,
+        )
+        for mutant, verdicts in zip(mutants, family):
+            solo = FormalEngine(mutant.design, _ENGINE).check_batch(texts)
+            for family_proof, solo_proof in zip(verdicts, solo):
+                assert _proof_key(family_proof) == _proof_key(solo_proof)
+                compared += 1
+    assert compared > 50
+
+
+def test_delta_reachability_matches_per_mutant_bfs(families):
+    for design, mutants, texts in families:
+        cache = ReachabilityCache()
+        check_family(
+            design,
+            [mutant.design for mutant in mutants],
+            texts,
+            _ENGINE,
+            cache,
+            witness_screen=False,
+        )
+        entries = cache.entries()
+        checked = 0
+        for mutant in mutants:
+            key = reachability_key(mutant.design, _ENGINE)
+            if key not in entries:
+                continue  # simulation-only member: no BFS on either path
+            system = TransitionSystem(
+                mutant.design, max_input_bits=_ENGINE.max_input_bits, backend="compiled"
+            )
+            scalar = enumerate_reachable(
+                system,
+                max_states=_ENGINE.max_states,
+                max_transitions=_ENGINE.max_transitions,
+            )
+            delta = entries[key]
+            assert delta.states == scalar.states
+            assert delta.complete == scalar.complete
+            assert delta.frontier_exhausted == scalar.frontier_exhausted
+            assert delta.transitions_explored == scalar.transitions_explored
+            checked += 1
+        assert checked
+
+
+def test_compiled_backend_family_falls_back_identically(families):
+    design, mutants, texts = families[0]
+    compiled = EngineConfig(**{**vars(_ENGINE), "backend": "compiled"})
+    stats = FamilyStats()
+    fallback = check_family(
+        design,
+        [mutant.design for mutant in mutants],
+        texts,
+        compiled,
+        witness_screen=False,
+        stats=stats,
+    )
+    assert stats.fallback_members == len(mutants)
+    vectorized = check_family(
+        design,
+        [mutant.design for mutant in mutants],
+        texts,
+        _ENGINE,
+        witness_screen=False,
+    )
+    for fallback_verdicts, vector_verdicts in zip(fallback, vectorized):
+        for fallback_proof, vector_proof in zip(fallback_verdicts, vector_verdicts):
+            assert _proof_key(fallback_proof) == _proof_key(vector_proof)
+
+
+def test_foreign_member_rejected_and_checked_by_engine(families, corpus):
+    design, mutants, texts = families[0]
+    foreign = corpus.design("mod10_counter")
+    assert foreign.name != design.name
+    stats = FamilyStats()
+    family = check_family(
+        design,
+        [mutants[0].design, foreign],
+        texts,
+        _ENGINE,
+        witness_screen=False,
+        stats=stats,
+    )
+    assert stats.fallback_members == 1
+    solo = FormalEngine(foreign, _ENGINE).check_batch(texts)
+    for family_proof, solo_proof in zip(family[1], solo):
+        assert _proof_key(family_proof) == _proof_key(solo_proof)
+
+
+# ---------------------------------------------------------------------------
+# The witness pre-screen
+# ---------------------------------------------------------------------------
+
+_BIG_COUNTER = """
+module bigcnt(clk, rst, en, ok);
+  input clk, rst, en;
+  output ok;
+  reg [10:0] count;
+  assign ok = count < 2048;
+  always @(posedge clk or posedge rst)
+    if (rst)
+      count <= 0;
+    else if (en)
+      count <= count + 1;
+endmodule
+"""
+
+_SCREEN_ENGINE = EngineConfig(
+    max_states=4096,
+    max_transitions=200_000,
+    max_input_bits=4,
+    max_state_bits=12,
+    max_path_evaluations=120_000,
+    fallback_cycles=128,
+    fallback_seeds=2,
+    backend="vectorized",
+)
+
+
+def test_witness_screen_harvests_kill_with_identical_outcome():
+    golden = Design.from_source(_BIG_COUNTER, name="bigcnt")
+    from repro.mutate.operators import apply_mutation, mutation_sites
+
+    site = next(
+        site
+        for site in mutation_sites(golden, ["stuck-driver"])
+        if "stuck-at-0" in site.description and "ok" in site.description
+    )
+    mutant = apply_mutation(golden, site.operator, site.index)
+    witness = semantic_difference(golden, mutant)
+    assert witness is not None and witness.method == "simulation"
+
+    text = "assert property (@(posedge clk) (en == 1) |=> (ok == 1));"
+    stats = FamilyStats()
+    screened = check_family(
+        golden, [mutant], [text], _SCREEN_ENGINE,
+        witnesses=[witness], witness_screen=True, stats=stats,
+    )[0][0]
+    assert stats.screen_kills == 1
+    assert screened.engine == "witness-screen"
+
+    solo = FormalEngine(mutant, _SCREEN_ENGINE).check_batch([text])[0]
+    # The harvested kill matches the canonical verdict in everything the
+    # mutation stage records; only the CEX representation reveals the
+    # shortcut (trace window vs explicit-state path).
+    assert (screened.status, screened.complete) == (solo.status, solo.complete)
+    assert solo.engine == "explicit-state"
+
+    unscreened = check_family(
+        golden, [mutant], [text], _SCREEN_ENGINE,
+        witnesses=[witness], witness_screen=False,
+    )[0][0]
+    assert _proof_key(unscreened) == _proof_key(solo)

@@ -131,6 +131,29 @@ class TestExpressionLanes:
         expected = [interp.eval(expr, dict(env)) for env in envs]
         assert lanes == expected, ast.render_expr(expr) if hasattr(ast, "render_expr") else str(expr)
 
+    def test_shift_mask_of_overwide_declared_width(self, adder_design, adder_kernel):
+        # A concat of width-less constants declares 64 bits even though its
+        # value fits trivially; the '>>' lowering must not build a mask no
+        # int64 lane can hold (regression: OverflowError at kernel time).
+        expr = ast.Binary(
+            op=">>",
+            left=ast.Ternary(
+                cond=ast.Identifier(name="a"),
+                then=ast.Identifier(name="a"),
+                otherwise=ast.Concat(parts=(ast.Number(value=0), ast.Number(value=0))),
+            ),
+            right=ast.Identifier(name="a"),
+        )
+        vec = adder_kernel.exprs.compile(expr)
+        interp = ExprEvaluator(adder_design.model)
+        envs = [{name: 0 for name in _SIGNAL_WIDTHS}, {name: 1 for name in _SIGNAL_WIDTHS}]
+        cols = {
+            name: np.asarray([env[name] for env in envs], dtype=np.int64)
+            for name in _SIGNAL_WIDTHS
+        }
+        lanes = np.asarray(vec(cols)).tolist()
+        assert lanes == [interp.eval(expr, dict(env)) for env in envs]
+
 
 class TestPacking:
     def test_pack_unpack_round_trip(self):
