@@ -43,6 +43,12 @@ GATED_METRICS = {
     "BENCH_fpv_kernel.json": {
         "speedup": {"direction": "higher", "smoke_slack": 1.5},
         "warm_reachability_speedup": {"direction": "higher", "smoke_slack": 3.0},
+        "fallback_set.speedup": {"direction": "higher", "smoke_slack": 2.0},
+        # The lowering census is deterministic: every design of the sweep
+        # and wide corpora must keep lowering to *some* vector plan.  A
+        # nonzero count means a design regressed to the scalar per-seed
+        # fallback, which is a functional regression, not noise.
+        "lowering.fallback_designs": {"direction": "exact"},
     },
     "BENCH_mutation_kill.json": {
         # Deterministic (no timing component): any change is a semantic
@@ -50,6 +56,10 @@ GATED_METRICS = {
         "kill_fraction": {"direction": "exact"},
         "outcomes.killed": {"direction": "exact"},
         "outcomes.survived": {"direction": "exact"},
+        # Family batching must keep covering every mutant: a mutant that
+        # stops fitting its design's family kernel is re-verified on the
+        # scalar path, which silently forfeits the batched speedup.
+        "family.fallback_members": {"direction": "exact"},
     },
 }
 

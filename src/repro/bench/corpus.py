@@ -34,7 +34,7 @@ from functools import partial
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..hdl.design import Design
-from .designs import arithmetic, basic, comm, fsm, memory, sequential
+from .designs import arithmetic, basic, comm, fsm, memory, sequential, wide
 
 
 @dataclass(frozen=True)
@@ -487,6 +487,34 @@ register_corpus(
     "assertionbench-mutation",
     lambda: AssertionBenchCorpus(_fpv_kernel_specs()),
     "Mutation-analysis workload: designs whose mutants stay exhaustively checkable",
+)
+
+#: Wide-datapath family: every design carries operands past the 64-bit packed
+#: ceiling, so the whole corpus exercises the multi-limb (and, for narrow
+#: control planes, bit-sliced) lowering strategies.  Zero scalar fallbacks
+#: across this corpus is a CI-gated invariant.
+WIDE_SPECS: List[CorpusSpec] = [
+    _spec("wide_counter100", "wide-arithmetic", "100-bit strided up counter", partial(wide.wide_counter, 100, 1)),
+    _spec("wide_counter128", "wide-arithmetic", "128-bit strided up counter", partial(wide.wide_counter, 128, 2)),
+    _spec("wide_accum100", "wide-arithmetic", "100-bit add/sub accumulator", partial(wide.wide_accumulator, 100, 16, 3)),
+    _spec("wide_accum96", "wide-arithmetic", "96-bit add/sub accumulator", partial(wide.wide_accumulator, 96, 24, 4)),
+    _spec("wide_cmp100", "wide-datapath", "100-bit magnitude comparator", partial(wide.wide_compare, 100, 5)),
+    _spec("wide_cmp80", "wide-datapath", "80-bit magnitude comparator", partial(wide.wide_compare, 80, 6)),
+    _spec("wide_checksum96", "wide-coding", "96-bit bus running checksum", partial(wide.wide_checksum, 96, 16, 7)),
+    _spec("wide_checksum128", "wide-coding", "128-bit bus running checksum", partial(wide.wide_checksum, 128, 16, 8)),
+    _spec("wide_mul40x40", "wide-arithmetic", "40x40 full-precision multiplier", partial(wide.wide_multiplier, 40)),
+    _spec("wide_mul48x48", "wide-arithmetic", "48x48 full-precision multiplier", partial(wide.wide_multiplier, 48)),
+    _spec("pow_lfsr72", "wide-security", "72-bit power-map pattern generator", partial(wide.pow_lfsr, 72, 9)),
+    _spec("pow_lfsr80", "wide-security", "80-bit power-map pattern generator", partial(wide.pow_lfsr, 80, 10)),
+    _spec("wide_shift80", "wide-datapath", "80-bit dynamic barrel shifter", partial(wide.wide_shifter, 80)),
+    _spec("wide_shift100", "wide-datapath", "100-bit dynamic barrel shifter", partial(wide.wide_shifter, 100)),
+    _spec("wide_mux96", "wide-datapath", "96-bit constant-bank mux", partial(wide.wide_mux_bank, 96, 4, 11)),
+]
+
+register_corpus(
+    "assertionbench-wide",
+    lambda: AssertionBenchCorpus(WIDE_SPECS),
+    "Wide-operand designs (>64-bit) driving the multi-limb lowering path",
 )
 
 

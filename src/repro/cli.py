@@ -303,12 +303,26 @@ def _print_run_stats(run_stats: dict) -> None:
     if family.get("members"):
         print(
             f"family sweep: {family.get('members', 0)} mutants "
-            f"({family.get('family_members', 0)} family-batched, "
+            f"({family.get('family_members', 0)} family-batched "
+            f"[{family.get('family_soa_members', 0)} soa, "
+            f"{family.get('family_multilimb_members', 0)} multilimb], "
             f"{family.get('fallback_members', 0)} fallback), "
             f"{family.get('memo_reused', 0)} memo-reused verdicts, "
             f"{family.get('screen_kills', 0)} witness-screen kills, "
             f"{family.get('delta_escape_states', 0)} delta escape states"
         )
+    lowering = run_stats.get("lowering", {})
+    plans = lowering.get("plans") or {}
+    if plans:
+        breakdown = ", ".join(
+            f"{count} {plan}" for plan, count in sorted(plans.items())
+        )
+        print(
+            f"vector lowering: {breakdown} "
+            f"({lowering.get('fallback_designs', 0)} scalar fallbacks)"
+        )
+        for name, reason in sorted((lowering.get("fallback_reasons") or {}).items()):
+            print(f"  fallback {name}: {reason}")
 
 
 def _print_mutation_summary(summary: MutationSummary) -> None:

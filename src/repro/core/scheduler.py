@@ -159,13 +159,15 @@ def _check_design_batch(
     assertions: Sequence[AssertionLike],
     config: EngineConfig,
     reachability: Optional[ReachabilityResult] = None,
-) -> Tuple[List[ProofResult], Optional[ReachabilityResult]]:
+) -> Tuple[List[ProofResult], Optional[ReachabilityResult], Dict[str, int], Optional[Dict[str, str]]]:
     """Check one design-level batch (runs in a worker process or inline).
 
     ``reachability`` warm-starts the engine from a cached reachable-state
     set; the second return slot carries back a freshly computed one (None
     when it was preloaded or never needed), so the parent process can
-    persist it regardless of which worker explored the design.
+    persist it regardless of which worker explored the design.  The fourth
+    slot reports which vector lowering the design got (None on scalar
+    backends), so the parent can aggregate per-plan and fallback stats.
     """
     engine = _engine_for(design, config)
     if reachability is not None:
@@ -178,7 +180,7 @@ def _check_design_batch(
         "misses": after["misses"] - before["misses"],
     }
     snapshot = None if reachability is not None else engine.reachability_snapshot()
-    return results, snapshot, step_stats
+    return results, snapshot, step_stats, engine.lowering_info()
 
 
 def _check_family_job(
@@ -252,6 +254,9 @@ class VerificationService:
         self._stats_lock = threading.Lock()
         self._family_stats: Dict[str, int] = {}
         self._step_stats: Dict[str, int] = {}
+        #: Per-design vector-lowering outcomes, keyed by design name:
+        #: {"plan": ..., "reason": ...} as reported by the engine's planner.
+        self._lowering_stats: Dict[str, Dict[str, str]] = {}
 
     @property
     def config(self) -> SchedulerConfig:
@@ -511,6 +516,39 @@ class VerificationService:
         with self._stats_lock:
             return dict(self._step_stats)
 
+    def _merge_lowering_info(self, info: Optional[Dict[str, str]]) -> None:
+        if not info:
+            return
+        design = info.get("design", "")
+        with self._stats_lock:
+            self._lowering_stats[design] = {
+                "plan": info.get("plan", ""),
+                "reason": info.get("reason", ""),
+            }
+
+    def lowering_stats(self) -> Dict[str, object]:
+        """Aggregated vector-lowering plan census across dispatched designs.
+
+        Reports how many designs landed on each lowering plan, how many fell
+        all the way back to the scalar path, and the per-design fallback
+        reasons — the observability face of the per-design planner in
+        :func:`repro.sim.vector.plan_model`.
+        """
+        with self._stats_lock:
+            per_design = {name: dict(info) for name, info in self._lowering_stats.items()}
+        plans: Dict[str, int] = {}
+        fallback_reasons: Dict[str, str] = {}
+        for name, info in sorted(per_design.items()):
+            plan = info.get("plan", "")
+            plans[plan] = plans.get(plan, 0) + 1
+            if plan == "fallback":
+                fallback_reasons[name] = info.get("reason", "")
+        return {
+            "plans": plans,
+            "fallback_designs": plans.get("fallback", 0),
+            "fallback_reasons": fallback_reasons,
+        }
+
     def run_stats(self) -> Dict[str, Dict[str, int]]:
         """Everything observable about this service's caches, in one place."""
         return {
@@ -518,6 +556,7 @@ class VerificationService:
             "reachability_cache": self._reachability_cache.stats(),
             "step_cache": self.step_cache_stats(),
             "family": self.family_stats(),
+            "lowering": self.lowering_stats(),
         }
 
     # -- dispatch -------------------------------------------------------------------
@@ -562,10 +601,14 @@ class VerificationService:
             # Collect in submission order: deterministic result assembly.
             outcomes = [future.result() for future in futures]
         stored: List[Tuple[str, str, ProofResult]] = []
-        for (design, _, keys), reach_key, preload, (results, snapshot, step_stats) in zip(
-            batches, reach_keys, preloads, outcomes
-        ):
+        for (design, _, keys), reach_key, preload, (
+            results,
+            snapshot,
+            step_stats,
+            lowering,
+        ) in zip(batches, reach_keys, preloads, outcomes):
             self._merge_step_stats(step_stats)
+            self._merge_lowering_info(lowering)
             if snapshot is not None and preload is None:
                 self._reachability_cache.put(reach_key, snapshot)
             design_pending = pending[_design_key(design)]

@@ -312,6 +312,24 @@ class FormalEngine:
     def backend(self) -> str:
         return self._backend
 
+    def lowering_info(self) -> Optional[Dict[str, str]]:
+        """Which vector lowering this design got, and why fallbacks happened.
+
+        ``None`` on scalar backends.  On the vectorized backend returns
+        ``{"design", "plan", "reason"}`` where ``plan`` is the representation
+        the planner picked (``soa``/``bitsliced``/``multilimb``) or
+        ``fallback`` when every strategy refused, with ``reason`` carrying
+        the per-strategy refusal messages.
+        """
+        plan = self._system.lowering_plan()
+        if plan is None:
+            return None
+        return {
+            "design": self._design.name,
+            "plan": plan.plan,
+            "reason": plan.reason,
+        }
+
     # -- public API ----------------------------------------------------------------
 
     def check(self, assertion_or_text: Union[str, Assertion]) -> ProofResult:
@@ -495,7 +513,11 @@ class FormalEngine:
         if not self._table_built:
             self._table_built = True
             kernel = self._system.vector_kernel()
-            if kernel is not None and reachability.complete:
+            if (
+                kernel is not None
+                and getattr(kernel, "packable", True)
+                and reachability.complete
+            ):
                 from .table import TransitionTable
 
                 self._table = TransitionTable(self._system, kernel, reachability)
@@ -907,7 +929,8 @@ class FormalEngine:
                 # cycle-independent combinational designs settle the whole
                 # seeds × cycles grid at once, and wide seed counts amortise
                 # the kernel dispatch.  A 2-3 lane sequential batch would pay
-                # more per array op than the compiled scalar loop.
+                # more per array op than the compiled scalar loop — that
+                # holds for every lowering plan, multi-limb included.
                 use_batch = (
                     comb_cycle_independent(self._design.model)
                     or self._config.fallback_seeds >= 8

@@ -46,7 +46,7 @@ from ..hdl.design import Design
 from ..hdl.errors import HdlError
 from ..sim.compile import VECTORIZED, default_backend
 from ..sim.eval import EvalError
-from ..sim.vector import FamilyKernel, FamilyLowering, lower_family
+from ..sim.vector import PLAN_MULTILIMB, FamilyKernel, FamilyLowering, lower_family
 from ..sva.checker import bind
 from ..sva.model import Assertion
 from .engine import (
@@ -85,6 +85,8 @@ class FamilyStats:
     def __init__(self) -> None:
         self.members = 0
         self.family_members = 0
+        self.family_soa_members = 0
+        self.family_multilimb_members = 0
         self.fallback_members = 0
         self.memo_reused = 0
         self.screen_kills = 0
@@ -94,6 +96,8 @@ class FamilyStats:
         return {
             "members": self.members,
             "family_members": self.family_members,
+            "family_soa_members": self.family_soa_members,
+            "family_multilimb_members": self.family_multilimb_members,
             "fallback_members": self.fallback_members,
             "memo_reused": self.memo_reused,
             "screen_kills": self.screen_kills,
@@ -170,10 +174,8 @@ class _FamilySweep:
             for position, member in enumerate(members):
                 next_packed[member][start:stop] = nxt[position]
             for expr, expr_kernel in kernels:
-                values = np.asarray(expr_kernel(env))
-                if values.ndim == 0:
-                    values = np.full(len(member_col), int(values), dtype=np.int64)
-                values = (values != 0).reshape(len(members), count, I)
+                values = self.kernel.bool_lanes(expr_kernel(env), len(member_col))
+                values = values.reshape(len(members), count, I)
                 for position, member in enumerate(members):
                     truths[(member, expr)][start:stop] = values[position]
         return next_packed, truths
@@ -191,10 +193,8 @@ class _FamilySweep:
         env, nxt = self.kernel.family_step_packed(member_col, states_rep, inputs_tiled)
         truths: Dict[object, np.ndarray] = {}
         for expr in exprs:
-            values = np.asarray(self.kernel.exprs.compile(expr)(env))
-            if values.ndim == 0:
-                values = np.full(lanes, int(values), dtype=np.int64)
-            truths[expr] = (values != 0).reshape(count, num_inputs)
+            values = self.kernel.bool_lanes(self.kernel.exprs.compile(expr)(env), lanes)
+            truths[expr] = values.reshape(count, num_inputs)
         return nxt.reshape(count, num_inputs), truths
 
 
@@ -498,7 +498,12 @@ def check_family(
                     run_fallback(position)
                     stats.fallback_members += 1
                     rescued += 1
-        stats.family_members += len(family_positions) - rescued
+        family_count = len(family_positions) - rescued
+        stats.family_members += family_count
+        if lowering.plan == PLAN_MULTILIMB:
+            stats.family_multilimb_members += family_count
+        else:
+            stats.family_soa_members += family_count
 
     for position in range(len(mutants)):
         if results[position] is None:  # pragma: no cover - defensive
@@ -550,7 +555,9 @@ def _check_family_fast(
         system.observe(observed)
 
     enumerable = (
-        system.can_enumerate_inputs and system.state_bits <= config.max_state_bits
+        system.can_enumerate_inputs
+        and system.state_bits <= config.max_state_bits
+        and getattr(lowering.kernel, "packable", True)
     )
     golden_reach = golden_engine._reachable() if enumerable else None
 

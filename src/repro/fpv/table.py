@@ -23,7 +23,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..hdl import ast
-from ..sim.vector import UnsupportedForVectorization, VectorKernel, _as_array
+from ..sim.vector import UnsupportedForVectorization, VectorKernel
 from ..sim.eval import EvalError
 from .transition import ReachabilityResult, State, TransitionSystem
 
@@ -178,8 +178,8 @@ class TransitionTable(ObligationTable):
                 indices = self._index.indices(next_packed)
                 self._next_index[start:stop] = indices.reshape(count, I)
             for expr, kernel in kernels:
-                values = _as_array(kernel(env), lanes)
-                self._truth[expr][start:stop] = (values != 0).reshape(count, I)
+                values = self._kernel.bool_lanes(kernel(env), lanes)
+                self._truth[expr][start:stop] = values.reshape(count, I)
         if need_next and (self._next_index < 0).any():
             # A complete reachable set is closed under step; a miss means the
             # caller handed us a truncated reachability result.

@@ -77,6 +77,7 @@ class TransitionSystem:
         self._input_dicts: Optional[List[Dict[str, int]]] = None
         self._kernel = None
         self._kernel_built = False
+        self._plan = None
 
     # -- basic properties -------------------------------------------------------
 
@@ -121,19 +122,27 @@ class TransitionSystem:
         """The NumPy :class:`~repro.sim.vector.VectorKernel`, or ``None``.
 
         Only systems built with the ``vectorized`` backend lower a kernel;
-        models the lowering rejects (or a missing NumPy) quietly fall back
-        to the scalar path.
+        models every lowering strategy rejects (or a missing NumPy) quietly
+        fall back to the scalar path.  :meth:`lowering_plan` reports which
+        representation the planner picked and why fallbacks happened.
         """
         if not self._kernel_built:
             self._kernel_built = True
             if self._backend == VECTORIZED:
                 try:
-                    from ..sim.vector import lower_model
+                    from ..sim.vector import plan_model
                 except ImportError:  # pragma: no cover - numpy not installed
-                    lower_model = None
-                if lower_model is not None:
-                    self._kernel = lower_model(self._model)
+                    plan_model = None
+                if plan_model is not None:
+                    self._plan = plan_model(self._model)
+                    self._kernel = self._plan.kernel
         return self._kernel
+
+    def lowering_plan(self):
+        """The :class:`~repro.sim.vector.LoweringPlan` behind
+        :meth:`vector_kernel`, or ``None`` for scalar backends."""
+        self.vector_kernel()
+        return self._plan
 
     # -- state encoding -----------------------------------------------------------
 
@@ -340,7 +349,7 @@ def enumerate_reachable(
         )
 
     kernel = system.vector_kernel()
-    if kernel is not None:
+    if kernel is not None and getattr(kernel, "packable", True):
         return _enumerate_reachable_vectorized(
             system, kernel, max_states, max_transitions
         )

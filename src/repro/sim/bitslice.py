@@ -1,0 +1,744 @@
+"""Bit-sliced (transposed) lowering: 64 lanes per uint64 word per bit.
+
+Where the SoA kernel of :mod:`repro.sim.vector` keeps one int64 cell per
+signal per lane, this module transposes the layout: each signal becomes a
+``(width, words)`` uint64 array of *bit planes*, with plane ``b`` holding bit
+``b`` of 64 lanes per word.  Boolean structure — ``&``, ``|``, ``^``, ``~``,
+``==``-against-constant, muxes, FSM case dispatch — then evaluates as one
+word-wide op per plane, a ~64x density win for the control-dominated designs
+that dominate reachability BFS and obligation-table sweeps.  Narrow
+arithmetic (``+``/``-``/compares) lowers to ripple-carry/borrow chains over
+the planes; everything else (``*``, ``/``, ``%``, ``**``, dynamic shifts and
+indices) raises :class:`UnsupportedForVectorization` so the planner falls
+back to the SoA or multi-limb representation.
+
+Invariant: lanes past the batch size (the tail of the last word) are zero in
+every plane and every mask; ops that set bits (``~``, ``==``, inverted
+masks) AND with the valid-lane words ``__full__`` to preserve it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..hdl import ast
+from ..hdl.elaborate import RtlModel
+from .eval import EvalError
+from .vector import (
+    Cols,
+    UnsupportedForVectorization,
+    VecKernel,
+    VecStoreKernel,
+    VectorExprCompiler,
+    VectorKernel,
+    VectorStmtCompiler,
+    pack_columns,
+)
+
+_WORD_BITS = 64
+
+
+def _words_for(lanes: int) -> int:
+    """Number of uint64 words covering ``lanes`` bit-packed lanes."""
+    return (lanes + _WORD_BITS - 1) >> 6
+
+
+def _full_words(lanes: int) -> np.ndarray:
+    """Valid-lane words: all ones, with the tail of the last word zero."""
+    words = np.full(_words_for(lanes), ~np.uint64(0), dtype=np.uint64)
+    tail = lanes & (_WORD_BITS - 1)
+    if words.size and tail:
+        words[-1] = np.uint64((1 << tail) - 1)
+    return words
+
+
+def _to_planes(column, width: int, lanes: int) -> np.ndarray:
+    """Transpose a per-lane integer column into ``(width, words)`` planes."""
+    arr = np.asarray(column)
+    if arr.dtype == object:
+        arr = arr.astype(object)
+    else:
+        arr = arr.astype(np.int64, copy=False)
+    words = _words_for(lanes)
+    planes = np.zeros((max(width, 1), words), dtype=np.uint64)
+    padded = np.zeros(words * _WORD_BITS, dtype=np.uint8)
+    for b in range(planes.shape[0]):
+        padded[:lanes] = ((arr >> b) & 1).astype(np.uint8)
+        planes[b] = np.packbits(padded, bitorder="little").view(np.uint64)
+    return planes
+
+
+def _from_planes(planes: np.ndarray, lanes: int) -> np.ndarray:
+    """Inverse of :func:`_to_planes` (plane count must fit int64 lanes)."""
+    out = np.zeros(lanes, dtype=np.int64)
+    for b in range(planes.shape[0]):
+        row = np.ascontiguousarray(np.broadcast_to(planes[b], (out.size + 63) >> 6))
+        bits = np.unpackbits(row.view(np.uint8), bitorder="little")[:lanes]
+        out |= bits.astype(np.int64) << np.int64(b)
+    return out
+
+
+def _prow(planes: np.ndarray, i: int) -> Union[np.ndarray, np.uint64]:
+    """Plane ``i`` of a value, zero when out of range."""
+    if 0 <= i < planes.shape[0]:
+        return planes[i]
+    return np.uint64(0)
+
+
+def _pstack(rows: Sequence) -> np.ndarray:
+    """Stack per-plane rows (mixed scalar/(1,)/(W,) shapes) into (k, W)."""
+    if not len(rows):
+        # A zero-width value (zero-count replicate, zero-bit shift result)
+        # is the scalar 0: one all-zero plane keeps every consumer total.
+        return np.zeros((1, 1), dtype=np.uint64)
+    arrays = [np.atleast_1d(np.asarray(r, dtype=np.uint64)) for r in rows]
+    arrays = np.broadcast_arrays(*arrays)
+    return np.stack(arrays)
+
+
+def _or_planes(planes: np.ndarray) -> np.ndarray:
+    """OR of all planes: the per-lane truthiness word mask."""
+    return np.bitwise_or.reduce(planes, axis=0)
+
+
+def _padd(a: np.ndarray, b, out_bits: int, carry_in=None) -> np.ndarray:
+    """Ripple-carry add over bit planes, truncated to ``out_bits`` planes."""
+    carry = np.uint64(0) if carry_in is None else carry_in
+    rows = []
+    for i in range(out_bits):
+        x = _prow(a, i)
+        y = _prow(b, i) if b is not None else np.uint64(0)
+        rows.append(x ^ y ^ carry)
+        carry = (x & y) | (carry & (x ^ y))
+    return _pstack(rows)
+
+
+def _psub(a: np.ndarray, b: np.ndarray, out_bits: int, full: np.ndarray) -> np.ndarray:
+    """a - b mod 2**out_bits: a + ~b + 1 with ~ confined to valid lanes."""
+    carry = full
+    rows = []
+    for i in range(out_bits):
+        x = _prow(a, i)
+        y = (~_prow(b, i)) & full  # planes past b's top invert to all-valid
+        rows.append(x ^ y ^ carry)
+        carry = (x & y) | (carry & (x ^ y))
+    return _pstack(rows)
+
+
+def _peq(a: np.ndarray, b: np.ndarray, full: np.ndarray) -> np.ndarray:
+    eq = full
+    for i in range(max(a.shape[0], b.shape[0])):
+        eq = eq & ~(_prow(a, i) ^ _prow(b, i))
+    return eq
+
+
+def _pcmp(a: np.ndarray, b: np.ndarray, full: np.ndarray):
+    """Unsigned (lt, gt) word masks, scanning planes top-down."""
+    lt = np.zeros_like(full)
+    gt = np.zeros_like(full)
+    undecided = full
+    for i in range(max(a.shape[0], b.shape[0]) - 1, -1, -1):
+        x = _prow(a, i)
+        y = _prow(b, i)
+        lt = lt | (undecided & ~x & y)
+        gt = gt | (undecided & x & ~y)
+        undecided = undecided & ~(x ^ y)
+    return lt, gt
+
+
+# ---------------------------------------------------------------------------
+# Expression lowering
+# ---------------------------------------------------------------------------
+
+
+class BitPlaneExprCompiler(VectorExprCompiler):
+    """Compile expressions to bit-plane kernels.
+
+    Every kernel returns a ``(value_bits, words)`` uint64 plane array; plane
+    counts carry the same headroom as the scalar backends (``+``/``-`` emit
+    width+1 planes, compares emit one plane).  Unsupported ops raise so the
+    planner can fall back to another representation.
+    """
+
+    def _require_bits(self, bits: int, expr: ast.Expr) -> None:
+        pass  # planes hold any width
+
+    def _build(self, expr: ast.Expr) -> VecKernel:
+        if not (expr.signals() & self._signal_names):
+            try:
+                value = self._interp.eval(expr, {})
+            except EvalError as exc:
+                raise UnsupportedForVectorization(str(exc)) from exc
+            bits = max(value.bit_length(), 1)
+            set_bits = tuple(bool((value >> b) & 1) for b in range(bits))
+
+            def const(cols: Cols) -> np.ndarray:
+                full = cols["__full__"]
+                planes = np.zeros((bits, full.shape[0]), dtype=np.uint64)
+                for b, is_set in enumerate(set_bits):
+                    if is_set:
+                        planes[b] = full
+                return planes
+
+            return const
+        if isinstance(expr, ast.Identifier):
+            name = expr.name
+            if name not in self._model.signals:
+                raise UnsupportedForVectorization(f"unknown signal {name!r}")
+            return lambda cols: cols[name]
+        if isinstance(expr, ast.BitSelect):
+            return self._build_bit_select(expr)
+        if isinstance(expr, ast.PartSelect):
+            base = self.compile(expr.base)
+            msb = self._interp.const_value(expr.msb)
+            lsb = self._interp.const_value(expr.lsb)
+            if msb < lsb:
+                msb, lsb = lsb, msb
+            count = msb - lsb + 1
+            return lambda cols: _pstack(
+                [_prow(base(cols), lsb + i) for i in range(count)]
+            )
+        if isinstance(expr, ast.Unary):
+            return self._build_unary(expr)
+        if isinstance(expr, ast.Binary):
+            return self._build_binary(expr)
+        if isinstance(expr, ast.Ternary):
+            cond = self.compile(expr.cond)
+            then = self.compile(expr.then)
+            otherwise = self.compile(expr.otherwise)
+
+            def ternary(cols: Cols) -> np.ndarray:
+                c = _or_planes(cond(cols))
+                t = then(cols)
+                e = otherwise(cols)
+                # Branch planes keep the zero-tail invariant, so e & ~c stays
+                # clean despite ~c's set tail bits.
+                rows = [
+                    (_prow(t, i) & c) | (_prow(e, i) & ~c)
+                    for i in range(max(t.shape[0], e.shape[0]))
+                ]
+                return _pstack(rows)
+
+            return ternary
+        if isinstance(expr, ast.Concat):
+            parts = [(self.compile(p), self.width_of(p)) for p in expr.parts]
+            total = sum(width for _, width in parts)
+            if total == 0:
+                # Every part is zero-width (e.g. zero-count replicates):
+                # the scalar value is 0.
+                return lambda cols: np.zeros(
+                    (1, cols["__full__"].shape[0]), dtype=np.uint64
+                )
+            shifts = []
+            offset = total
+            for kernel, width in parts:
+                offset -= width
+                shifts.append((kernel, offset, width))
+            shifts_t = tuple(shifts)
+
+            def concat(cols: Cols) -> np.ndarray:
+                rows: List = [np.uint64(0)] * total
+                for kernel, shift, width in shifts_t:
+                    planes = kernel(cols)
+                    for i in range(width):
+                        rows[shift + i] = _prow(planes, i)
+                return _pstack(rows)
+
+            return concat
+        if isinstance(expr, ast.Replicate):
+            count = self._interp.const_value(expr.count)
+            width = self.width_of(expr.value)
+            chunk = self.compile(expr.value)
+            # A zero-width chunk replicates to a zero-width (value 0) result
+            # just like a zero count does.
+            if count == 0 or width == 0:
+
+                def empty(cols: Cols) -> np.ndarray:
+                    return np.zeros((1, cols["__full__"].shape[0]), dtype=np.uint64)
+
+                return empty
+
+            def replicate(cols: Cols) -> np.ndarray:
+                planes = chunk(cols)
+                rows = [_prow(planes, i % width) for i in range(width * count)]
+                return _pstack(rows)
+
+            return replicate
+        raise UnsupportedForVectorization(f"cannot bit-slice {expr!r}")
+
+    def _build_bit_select(self, expr: ast.BitSelect) -> VecKernel:
+        base = self.compile(expr.base)
+        if expr.index.signals() & self._signal_names:
+            raise UnsupportedForVectorization(
+                "dynamic bit select is not bit-sliced"
+            )
+        index = self._interp.eval(expr.index, {})
+        if index < 0:
+            raise EvalError(f"negative bit index {index}")
+        return lambda cols: _pstack([_prow(base(cols), index)])
+
+    def _build_unary(self, expr: ast.Unary) -> VecKernel:
+        operand = self.compile(expr.operand)
+        width = self.width_of(expr.operand)
+        op = expr.op
+        if op == "~":
+
+            def invert(cols: Cols) -> np.ndarray:
+                a = operand(cols)
+                full = cols["__full__"]
+                return _pstack([(~_prow(a, i)) & full for i in range(width)])
+
+            return invert
+        if op == "!":
+            return lambda cols: _pstack(
+                [~_or_planes(operand(cols)) & cols["__full__"]]
+            )
+        if op == "-":
+
+            def negate(cols: Cols) -> np.ndarray:
+                a = operand(cols)
+                full = cols["__full__"]
+                comp = _pstack([(~_prow(a, i)) & full for i in range(width)])
+                return _padd(comp, None, width, carry_in=full)
+
+            return negate
+        if op == "&":
+            # Scalar semantics compare the full headroom-carrying value with
+            # the width mask: any set headroom plane makes the reduction 0.
+            def red_and(cols: Cols) -> np.ndarray:
+                a = operand(cols)
+                acc = cols["__full__"]
+                for i in range(max(a.shape[0], width)):
+                    acc = acc & _prow(a, i) if i < width else acc & ~_prow(a, i)
+                return _pstack([acc])
+
+            return red_and
+        if op == "|":
+            return lambda cols: _pstack([_or_planes(operand(cols))])
+        if op == "^":
+
+            def red_xor(cols: Cols) -> np.ndarray:
+                a = operand(cols)
+                acc = np.zeros_like(cols["__full__"])
+                for i in range(a.shape[0]):
+                    acc = acc ^ a[i]
+                return _pstack([acc])
+
+            return red_xor
+        raise UnsupportedForVectorization(f"unsupported unary operator {op!r}")
+
+    def _build_binary(self, expr: ast.Binary) -> VecKernel:
+        op = expr.op
+        left = self.compile(expr.left)
+        right = self.compile(expr.right)
+        if op in ("&&", "||"):
+            fn = np.bitwise_and if op == "&&" else np.bitwise_or
+            return lambda cols: _pstack(
+                [fn(_or_planes(left(cols)), _or_planes(right(cols)))]
+            )
+        width = max(self.width_of(expr.left), self.width_of(expr.right))
+        if op == "+":
+            return lambda cols: _padd(left(cols), right(cols), width + 1)
+        if op == "-":
+            return lambda cols: _psub(
+                left(cols), right(cols), width + 1, cols["__full__"]
+            )
+        if op in ("&", "|", "^"):
+            fn = {"&": np.bitwise_and, "|": np.bitwise_or, "^": np.bitwise_xor}[op]
+
+            def bitwise(cols: Cols) -> np.ndarray:
+                a = left(cols)
+                b = right(cols)
+                k = (
+                    min(a.shape[0], b.shape[0])
+                    if op == "&"
+                    else max(a.shape[0], b.shape[0])
+                )
+                return _pstack([fn(_prow(a, i), _prow(b, i)) for i in range(k)])
+
+            return bitwise
+        if op in ("==", "===", "!=", "!=="):
+            negate = op in ("!=", "!==")
+
+            def equality(cols: Cols) -> np.ndarray:
+                full = cols["__full__"]
+                eq = _peq(left(cols), right(cols), full)
+                return _pstack([(~eq) & full if negate else eq])
+
+            return equality
+        if op in ("<", "<=", ">", ">="):
+
+            def compare(cols: Cols) -> np.ndarray:
+                full = cols["__full__"]
+                lt, gt = _pcmp(left(cols), right(cols), full)
+                if op == "<":
+                    return _pstack([lt])
+                if op == "<=":
+                    return _pstack([(~gt) & full])
+                if op == ">":
+                    return _pstack([gt])
+                return _pstack([(~lt) & full])
+
+            return compare
+        if op in ("<<", "<<<", ">>", ">>>"):
+            if expr.right.signals() & self._signal_names:
+                raise UnsupportedForVectorization("dynamic shift is not bit-sliced")
+            amount = self._interp.eval(expr.right, {})
+            out_bits = self.width_of(expr.left)
+            if op in ("<<", "<<<"):
+                return lambda cols: _pstack(
+                    [_prow(left(cols), i - amount) for i in range(out_bits)]
+                )
+            return lambda cols: _pstack(
+                [_prow(left(cols), i + amount) for i in range(out_bits)]
+            )
+        raise UnsupportedForVectorization(
+            f"binary operator {op!r} is not bit-sliced"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Statement lowering
+# ---------------------------------------------------------------------------
+
+
+class _BitNbSink:
+    """Non-blocking staging area with word-mask written sets."""
+
+    __slots__ = ("env", "full", "values", "written")
+
+    def __init__(self, env: Cols, full: np.ndarray):
+        self.env = env
+        self.full = full
+        self.values: Cols = {}
+        self.written: Dict[str, np.ndarray] = {}
+
+    def current(self, name: str, lanes: int) -> np.ndarray:
+        if name in self.values:
+            w = self.written[name]
+            return (self.values[name] & w) | (self.env[name] & ~w)
+        return self.env[name]
+
+    def write(self, name: str, value: np.ndarray, mask, lanes: int) -> None:
+        if mask is None:
+            mask = self.full
+        if name in self.values:
+            self.values[name] = (value & mask) | (self.values[name] & ~mask)
+            self.written[name] = self.written[name] | mask
+        else:
+            self.values[name] = value & mask
+            self.written[name] = np.broadcast_to(mask, self.full.shape).copy()
+
+
+class _BitEnvAliasSink(_BitNbSink):
+    """Word-mask sink that writes straight into the environment."""
+
+    def current(self, name: str, lanes: int) -> np.ndarray:
+        return self.env[name]
+
+    def write(self, name: str, value: np.ndarray, mask, lanes: int) -> None:
+        if mask is None:
+            self.env[name] = value
+        else:
+            self.env[name] = (value & mask) | (self.env[name] & ~mask)
+
+
+class BitPlaneStmtCompiler(VectorStmtCompiler):
+    """Masked statement execution where lane masks are uint64 word masks."""
+
+    def _cond_mask(self, value, env: Cols):
+        return _or_planes(value)
+
+    def _eq_mask(self, label_value, subject_value, env: Cols):
+        return _peq(label_value, subject_value, env["__full__"])
+
+    def _invert_mask(self, cond, env: Cols):
+        if isinstance(cond, bool):
+            return not cond
+        return ~cond & env["__full__"]
+
+    def _materialize_mask(self, mask, env: Cols, lanes: int):
+        if isinstance(mask, np.ndarray):
+            return mask
+        return None if mask else np.zeros_like(env["__full__"])
+
+    def _lift(self, value, lanes: int):
+        arr = np.asarray(value)
+        words = _words_for(lanes)
+        if arr.shape[-1] == words:
+            return arr
+        return np.ascontiguousarray(np.broadcast_to(arr, (arr.shape[0], words)))
+
+    def _build_store_kernel(self, target: ast.Expr) -> VecStoreKernel:
+        if isinstance(target, ast.Identifier):
+            name = target.name
+            width = max(self._model.signal(name).width, 1)
+
+            def store_ident(
+                value: np.ndarray, env: Cols, nb, mask, lanes: int
+            ) -> None:
+                aligned = _plane_align(value, width)
+                if nb is None:
+                    if mask is None:
+                        env[name] = aligned
+                    else:
+                        env[name] = (aligned & mask) | (env[name] & ~mask)
+                else:
+                    nb.write(name, aligned, mask, lanes)
+
+            return store_ident
+        if isinstance(target, ast.BitSelect):
+            name = self._target_name(target)
+            width = max(self._model.signal(name).width, 1)
+            if target.index.signals() & frozenset(self._model.signals):
+                raise UnsupportedForVectorization(
+                    "dynamic bit-select store is not bit-sliced"
+                )
+            index = self._exprs._interp.eval(target.index, {})
+            if index < 0:
+                raise EvalError(f"negative bit index {index}")
+
+            def store_bit(
+                value: np.ndarray, env: Cols, nb, mask, lanes: int
+            ) -> None:
+                if index >= width:
+                    return  # the signal mask would drop the bit anyway
+                current = env[name] if nb is None else nb.current(name, lanes)
+                updated = _plane_align(current, width).copy()
+                updated[index] = _prow(np.asarray(value), 0)
+                if nb is None:
+                    if mask is None:
+                        env[name] = updated
+                    else:
+                        env[name] = (updated & mask) | (env[name] & ~mask)
+                else:
+                    nb.write(name, updated, mask, lanes)
+
+            return store_bit
+        if isinstance(target, ast.PartSelect):
+            name = self._target_name(target)
+            width = max(self._model.signal(name).width, 1)
+            signals = frozenset(self._model.signals)
+            if (target.msb.signals() & signals) or (target.lsb.signals() & signals):
+                raise UnsupportedForVectorization(
+                    "dynamic part-select store is not bit-sliced"
+                )
+            msb = self._exprs._interp.const_value(target.msb)
+            lsb = self._exprs._interp.const_value(target.lsb)
+            if msb < lsb:
+                msb, lsb = lsb, msb
+
+            def store_part(
+                value: np.ndarray, env: Cols, nb, mask, lanes: int
+            ) -> None:
+                current = env[name] if nb is None else nb.current(name, lanes)
+                updated = _plane_align(current, width).copy()
+                varr = np.asarray(value)
+                for i in range(lsb, min(msb + 1, width)):
+                    updated[i] = _prow(varr, i - lsb)
+                if nb is None:
+                    if mask is None:
+                        env[name] = updated
+                    else:
+                        env[name] = (updated & mask) | (env[name] & ~mask)
+                else:
+                    nb.write(name, updated, mask, lanes)
+
+            return store_part
+        if isinstance(target, ast.Concat):
+            parts = []
+            offset = sum(self._exprs.width_of(part) for part in target.parts)
+            for part in target.parts:
+                width = self._exprs.width_of(part)
+                offset -= width
+                parts.append((self._build_store_kernel(part), offset, width))
+            parts_t = tuple(parts)
+
+            def store_concat(
+                value: np.ndarray, env: Cols, nb, mask, lanes: int
+            ) -> None:
+                varr = np.asarray(value)
+                for store, shift, pwidth in parts_t:
+                    rows = _pstack([_prow(varr, shift + i) for i in range(pwidth)])
+                    store(self._lift(rows, lanes), env, nb, mask, lanes)
+
+            return store_concat
+        raise UnsupportedForVectorization(f"unsupported assignment target {target!r}")
+
+
+def _plane_align(planes: np.ndarray, width: int) -> np.ndarray:
+    """Pad (or truncate) a plane array to exactly ``width`` planes."""
+    have = planes.shape[0]
+    if have == width:
+        return planes
+    if have > width:
+        return planes[:width]
+    pad = np.zeros((width - have,) + planes.shape[1:], dtype=np.uint64)
+    return np.concatenate([planes, pad], axis=0)
+
+
+# ---------------------------------------------------------------------------
+# The kernel
+# ---------------------------------------------------------------------------
+
+
+class BitSlicedKernel(VectorKernel):
+    """Vector kernel holding every signal as (width, words) uint64 bit planes.
+
+    The environment carries two extra keys: ``__lanes__`` (the batch size;
+    plane arrays cannot express it once the tail word is partial) and
+    ``__full__`` (the valid-lane words every bit-setting op masks with).
+    """
+
+    plan_name = "bitsliced"
+
+    def _check_widths(self, model: RtlModel) -> None:
+        pass  # planes hold any width; profitability gates the attempt
+
+    def _make_expr_compiler(self, model: RtlModel) -> VectorExprCompiler:
+        return BitPlaneExprCompiler(model)
+
+    def _make_stmt_compiler(
+        self, model: RtlModel, exprs: VectorExprCompiler
+    ) -> VectorStmtCompiler:
+        return BitPlaneStmtCompiler(model, exprs)
+
+    # -- environments ---------------------------------------------------------
+
+    def blank_env(self, lanes: int) -> Cols:
+        words = _words_for(lanes)
+        env: Cols = {
+            name: np.zeros((max(signal.width, 1), words), dtype=np.uint64)
+            for name, signal in self._model.signals.items()
+        }
+        env["__lanes__"] = np.int64(lanes)
+        env["__full__"] = _full_words(lanes)
+        return env
+
+    def initial_env(self, lanes: int) -> Cols:
+        cols = self.blank_env(lanes)
+        full = cols["__full__"]
+        for name, value in self._model.initial_values.items():
+            signal = self._model.signals[name]
+            masked = value & signal.mask
+            planes = np.zeros((max(signal.width, 1), full.shape[0]), dtype=np.uint64)
+            for b in range(planes.shape[0]):
+                if (masked >> b) & 1:
+                    planes[b] = full
+            cols[name] = planes
+        return cols
+
+    def env_lanes(self, cols: Cols) -> int:
+        if not cols:
+            return 0
+        return int(cols["__lanes__"])
+
+    def env_row(
+        self, cols: Cols, lane: int, names: Optional[Sequence[str]] = None
+    ) -> Dict[str, int]:
+        keys = (
+            names
+            if names is not None
+            else [name for name in cols if not name.startswith("__")]
+        )
+        word = lane >> 6
+        bit = lane & (_WORD_BITS - 1)
+        out: Dict[str, int] = {}
+        for name in keys:
+            arr = cols[name]
+            if arr.ndim == 1:  # non-plane columns (family member ids)
+                out[name] = int(arr[lane])
+                continue
+            value = 0
+            for b in range(arr.shape[0]):
+                value |= ((int(arr[b, word]) >> bit) & 1) << b
+            out[name] = value
+        return out
+
+    # -- representation hooks -------------------------------------------------
+
+    def lift_state(self, name: str, column) -> np.ndarray:
+        arr = np.asarray(column)
+        return _to_planes(arr, self._model.signals[name].width, arr.shape[-1])
+
+    def lift_input(self, name: str, column, lanes: int) -> np.ndarray:
+        signal = self._model.signals[name]
+        arr = np.asarray(column)
+        if arr.dtype == object:
+            arr = arr.astype(object) & signal.mask
+        else:
+            arr = arr.astype(np.int64) & np.int64(signal.mask)
+        return _to_planes(arr, signal.width, lanes)
+
+    def bool_lanes(self, value, lanes: int) -> np.ndarray:
+        words = np.ascontiguousarray(
+            np.broadcast_to(_or_planes(np.asarray(value)), _words_for(lanes))
+        )
+        bits = np.unpackbits(words.view(np.uint8), bitorder="little")[:lanes]
+        return bits.astype(bool)
+
+    def column_values(self, env: Cols, name: str) -> List[int]:
+        return _from_planes(env[name], self.env_lanes(env)).tolist()
+
+    def _make_alias_sink(self, cols: Cols):
+        return _BitEnvAliasSink(cols, cols["__full__"])
+
+    def _pack_next(self, next_cols: Cols, lanes: int) -> np.ndarray:
+        flat: Cols = {
+            name: _from_planes(next_cols[name], lanes) for name in self.state_names
+        }
+        return pack_columns(flat, self.state_names, self.state_widths, lanes)
+
+    # -- sequential clocking --------------------------------------------------
+
+    def next_state_columns(self, env: Cols, lanes: int) -> Cols:
+        full = env["__full__"]
+        nb = _BitNbSink(env, full)
+        for body, targets in self._seq:
+            shadow = dict(env)
+            nb.env = shadow
+            body(shadow, nb, None, lanes)
+            for name in targets:
+                if shadow[name] is env[name]:
+                    continue
+                changed = _or_planes(shadow[name] ^ env[name]) & full
+                if name in nb.written:
+                    changed = changed & ~nb.written[name]
+                if changed.any():
+                    nb.write(name, shadow[name], changed, lanes)
+        nb.env = env
+        out: Cols = {}
+        for name in self.state_names:
+            if name in nb.values:
+                w = nb.written[name]
+                out[name] = (nb.values[name] & w) | (env[name] & ~w)
+            else:
+                out[name] = env[name]
+        return out
+
+
+# ---------------------------------------------------------------------------
+# Profitability heuristic (consulted by the planner)
+# ---------------------------------------------------------------------------
+
+#: Widest signal the heuristic still considers control-dominated.
+_PROFITABLE_MAX_WIDTH = 2
+#: Minimum signal count before transposition beats plain SoA dispatch.
+_PROFITABLE_MIN_SIGNALS = 8
+
+
+def bitslice_profitable(model: RtlModel) -> bool:
+    """Predict whether the bit-sliced kernel beats SoA for ``model``.
+
+    Transposition pays when the design is a web of 1-2 bit control signals
+    (64 lanes per word per plane); wide datapaths cost one ripple chain per
+    arithmetic op and lose to SoA's single int64 op.  The planner only
+    *attempts* the bit-sliced build when this returns True — a build that
+    raises still falls back to SoA, so the heuristic errs conservative.
+    """
+    widths = [signal.width for signal in model.signals.values()]
+    if len(widths) < _PROFITABLE_MIN_SIGNALS:
+        return False
+    return max(widths) <= _PROFITABLE_MAX_WIDTH

@@ -34,7 +34,16 @@ class Stimulus:
         import numpy as np
 
         names = model.non_clock_inputs
-        columns = {name: np.zeros(cycles, dtype=np.int64) for name in names}
+        # Inputs past 63 bits cannot live in int64 cells; object-dtype
+        # columns keep arbitrary-precision Python ints per cycle (the
+        # multi-limb kernel splits them into limb planes on lift).
+        columns = {
+            name: np.zeros(
+                cycles,
+                dtype=object if model.signals[name].width > 63 else np.int64,
+            )
+            for name in names
+        }
         for cycle, vector in zip(range(cycles), self.vectors(model, cycles)):
             for name in names:
                 columns[name][cycle] = vector.get(name, 0) & model.signals[name].mask

@@ -15,16 +15,23 @@ kernels that advance an entire batch of environments at once:
   (reachability BFS, dedup, cache keys).
 
 Semantics are bit-for-bit identical to the interpreted and compiled scalar
-backends for every design the lowering accepts.  Designs the lowering cannot
-prove safe inside 63-bit signed integer arithmetic (very wide signals,
-multiplies past 31 bits, ``**``) raise :class:`UnsupportedForVectorization`
-at lowering time and transparently fall back to the compiled backend — the
-scalar backends remain the reference oracles.
+backends for every design the lowering accepts.  The plain structure-of-
+arrays kernel refuses anything it cannot prove safe inside 63-bit signed
+integer arithmetic (very wide signals, multiplies past 31 bits, ``**``);
+:func:`plan_model` then tries the alternative representations — the
+bit-sliced kernel of :mod:`repro.sim.bitslice` for control-dominated
+boolean logic and the multi-limb kernel of :mod:`repro.sim.limb` for wide
+datapaths — before giving up.  Only when every lowering strategy raises
+:class:`UnsupportedForVectorization` does a design fall back to the
+compiled backend, and the plan records the reason so the fallback is
+observable instead of silent.  The scalar backends remain the reference
+oracles throughout.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import os
+from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -136,6 +143,20 @@ class VectorExprCompiler:
             raise UnsupportedForVectorization(
                 f"{expr!r} needs {bits} bits; int64 lanes hold {_MAX_VALUE_BITS}"
             )
+
+    # -- representation hooks (family overlays) -------------------------------
+
+    def _lift_result(self, value, lanes: int):
+        """Broadcast a kernel result to the representation's full column form."""
+        return _as_array(value, lanes)
+
+    def _overlay(self, mask: np.ndarray, variant_value, golden_value, lanes: int):
+        """Blend a variant's value over the golden value on masked lanes.
+
+        ``mask`` is always a plain (lanes,) boolean array keyed off the
+        member-id column, whatever the value representation.
+        """
+        return np.where(mask, self._lift_result(variant_value, lanes), golden_value)
 
     # -- compilation ----------------------------------------------------------
 
@@ -361,11 +382,39 @@ Mask = Optional[np.ndarray]
 
 
 def _and_mask(mask: Mask, cond: Union[np.ndarray, bool]) -> Union[np.ndarray, bool]:
-    if isinstance(cond, bool):
-        cond = cond  # scalar condition applies to every lane uniformly
     if mask is None:
         return cond
+    if cond is True:
+        return mask
+    if cond is False:
+        return False
     return mask & cond
+
+
+def _mask_and(a, b):
+    """AND two lane masks where either side may be a scalar Python bool.
+
+    Scalar bools never mix bitwise with word-packed masks (``True & words``
+    would pick only bit 0), so they are short-circuited symbolically.
+    """
+    if a is True:
+        return b
+    if b is True:
+        return a
+    if a is False or b is False:
+        return False
+    return a & b
+
+
+def _mask_or(a, b):
+    """OR two lane masks where either side may be a scalar Python bool."""
+    if a is False:
+        return b
+    if b is False:
+        return a
+    if a is True or b is True:
+        return True
+    return a | b
 
 
 def _mask_any(mask: Union[np.ndarray, bool]) -> bool:
@@ -415,12 +464,41 @@ VecStoreKernel = Callable[[np.ndarray, Cols, Optional[_NbSink], Mask, int], None
 
 
 class VectorStmtCompiler:
-    """Compile procedural statement bodies to masked array kernels."""
+    """Compile procedural statement bodies to masked array kernels.
+
+    The control-flow machinery is representation-agnostic: every place a
+    value must become a lane mask (conditions, case-label matches, mask
+    inversion) routes through an overridable hook, so the multi-limb and
+    bit-plane compilers reuse the whole If/Case/Block scaffolding by
+    overriding only the hooks and the store kernels.
+    """
 
     def __init__(self, model: RtlModel, exprs: VectorExprCompiler):
         self._model = model
         self._exprs = exprs
         self._stmt_cache: Dict[int, Tuple[ast.Stmt, VecStmtKernel]] = {}
+
+    # -- representation hooks --------------------------------------------------
+
+    def _cond_mask(self, value, env: Cols):
+        """Lane mask (or scalar bool) from a condition kernel's result."""
+        return _as_bool(value)
+
+    def _eq_mask(self, label_value, subject_value, env: Cols):
+        """Lane mask where a case label equals the case subject."""
+        return np.equal(label_value, subject_value)
+
+    def _invert_mask(self, cond, env: Cols):
+        """Complement of a lane mask within the valid lanes."""
+        return _invert(cond)
+
+    def _materialize_mask(self, mask, env: Cols, lanes: int) -> Mask:
+        """Normalise a scalar-bool mask to the representation's mask type."""
+        return _materialize(mask, lanes)
+
+    def _lift(self, value, lanes: int):
+        """Broadcast a kernel result to a full per-lane value column."""
+        return _as_array(value, lanes)
 
     def compile_stmt(self, stmt: ast.Stmt) -> VecStmtKernel:
         cached = self._stmt_cache.get(id(stmt))
@@ -444,9 +522,10 @@ class VectorStmtCompiler:
         if isinstance(stmt, ast.Assignment):
             value = self._exprs.compile(stmt.value)
             store = self._build_store(stmt.target, blocking=stmt.blocking)
+            lift = self._lift
 
             def assign(env: Cols, nb: _NbSink, mask: Mask, lanes: int) -> None:
-                store(_as_array(value(env), lanes), env, nb, mask, lanes)
+                store(lift(value(env), lanes), env, nb, mask, lanes)
 
             return assign
         if isinstance(stmt, ast.If):
@@ -455,16 +534,19 @@ class VectorStmtCompiler:
             otherwise = (
                 self.compile_stmt(stmt.else_body) if stmt.else_body is not None else None
             )
+            cond_mask = self._cond_mask
+            invert_mask = self._invert_mask
+            materialize = self._materialize_mask
 
             def if_stmt(env: Cols, nb: _NbSink, mask: Mask, lanes: int) -> None:
-                taken = _as_bool(cond(env))
+                taken = cond_mask(cond(env), env)
                 then_mask = _and_mask(mask, taken)
                 if _mask_any(then_mask):
-                    then(env, nb, _materialize(then_mask, lanes), lanes)
+                    then(env, nb, materialize(then_mask, env, lanes), lanes)
                 if otherwise is not None:
-                    else_mask = _and_mask(mask, _invert(taken))
+                    else_mask = _and_mask(mask, invert_mask(taken, env))
                     if _mask_any(else_mask):
-                        otherwise(env, nb, _materialize(else_mask, lanes), lanes)
+                        otherwise(env, nb, materialize(else_mask, env, lanes), lanes)
 
             return if_stmt
         if isinstance(stmt, ast.Case):
@@ -477,6 +559,9 @@ class VectorStmtCompiler:
                 for item in stmt.items
             )
             default = self.compile_stmt(stmt.default) if stmt.default is not None else None
+            eq_mask = self._eq_mask
+            invert_mask = self._invert_mask
+            materialize = self._materialize_mask
 
             def case(env: Cols, nb: _NbSink, mask: Mask, lanes: int) -> None:
                 value = subject(env)
@@ -484,15 +569,15 @@ class VectorStmtCompiler:
                 for labels, body in arms:
                     hit: Union[np.ndarray, bool] = False
                     for label in labels:
-                        hit = hit | np.equal(label(env), value)
-                    arm_mask = _and_mask(mask, unmatched & hit)
+                        hit = _mask_or(hit, eq_mask(label(env), value, env))
+                    arm_mask = _and_mask(mask, _mask_and(unmatched, hit))
                     if _mask_any(arm_mask):
-                        body(env, nb, _materialize(arm_mask, lanes), lanes)
-                    unmatched = unmatched & _invert(hit)
+                        body(env, nb, materialize(arm_mask, env, lanes), lanes)
+                    unmatched = _mask_and(unmatched, invert_mask(hit, env))
                 if default is not None:
                     default_mask = _and_mask(mask, unmatched)
                     if _mask_any(default_mask):
-                        default(env, nb, _materialize(default_mask, lanes), lanes)
+                        default(env, nb, materialize(default_mask, env, lanes), lanes)
 
             return case
         raise UnsupportedForVectorization(f"unsupported statement {stmt!r}")
@@ -683,11 +768,14 @@ class VectorKernel:
     """
 
     backend = "vectorized"
+    #: Which lowering representation this kernel implements; the planner and
+    #: the stats plumbing report it per design.
+    plan_name = "soa"
 
     def __init__(self, model: RtlModel):
         self._model = model
         self.exprs = self._make_expr_compiler(model)
-        self._stmts = VectorStmtCompiler(model, self.exprs)
+        self._stmts = self._make_stmt_compiler(model, self.exprs)
 
         assigns = tuple(
             (self.exprs.compile(assign.value), self._stmts._build_store_kernel(assign.target))
@@ -713,18 +801,31 @@ class VectorKernel:
         self.input_widths: Tuple[int, ...] = tuple(
             model.signals[name].width for name in self.input_names
         )
-        if sum(self.state_widths) > _MAX_VALUE_BITS:
-            raise UnsupportedForVectorization(
-                f"{sum(self.state_widths)} state bits exceed one int64 lane"
-            )
+        #: Whether whole states / input valuations fit one packed int64 lane.
+        #: Unpackable kernels still batch settles and traces; only the
+        #: packed-set machinery (BFS frontiers, dense transition tables,
+        #: exhaustive sweeps) requires ``packable``.
+        self.packable = (
+            sum(self.state_widths) <= _MAX_VALUE_BITS
+            and sum(self.input_widths) <= _MAX_VALUE_BITS
+        )
+        self._check_widths(model)
+
+    def _make_expr_compiler(self, model: RtlModel) -> VectorExprCompiler:
+        return VectorExprCompiler(model)
+
+    def _make_stmt_compiler(
+        self, model: RtlModel, exprs: VectorExprCompiler
+    ) -> VectorStmtCompiler:
+        return VectorStmtCompiler(model, exprs)
+
+    def _check_widths(self, model: RtlModel) -> None:
+        """Reject signals the representation cannot hold (SoA: > int64)."""
         for name, signal in model.signals.items():
             if signal.width > _MAX_VALUE_BITS:
                 raise UnsupportedForVectorization(
                     f"signal {name!r} ({signal.width} bits) exceeds int64 lanes"
                 )
-
-    def _make_expr_compiler(self, model: RtlModel) -> VectorExprCompiler:
-        return VectorExprCompiler(model)
 
     @property
     def model(self) -> RtlModel:
@@ -764,6 +865,41 @@ class VectorKernel:
         keys = names if names is not None else cols.keys()
         return {name: int(cols[name][lane]) for name in keys}
 
+    # -- representation hooks -------------------------------------------------
+
+    def env_lanes(self, cols: Cols) -> int:
+        """Number of lanes in a columnar environment."""
+        if not cols:
+            return 0
+        return int(next(iter(cols.values())).shape[-1])
+
+    def lift_state(self, name: str, column) -> np.ndarray:
+        """Convert an external state column (ints) to representation form."""
+        return np.asarray(column, dtype=np.int64)
+
+    def lift_input(self, name: str, column, lanes: int) -> np.ndarray:
+        """Convert and mask an external input column to representation form."""
+        mask = self._model.signals[name].mask
+        return np.asarray(column, dtype=np.int64) & mask
+
+    def bool_lanes(self, value, lanes: int) -> np.ndarray:
+        """Truthiness of a compiled expression kernel's result per lane."""
+        return _as_array(value, lanes) != 0
+
+    def column_values(self, env: Cols, name: str) -> List[int]:
+        """One signal column as a list of Python ints (arbitrary precision)."""
+        return env[name].tolist()
+
+    def _make_nb_sink(self, env: Cols) -> "_NbSink":
+        return _NbSink(env)
+
+    def _make_alias_sink(self, cols: Cols) -> "_NbSink":
+        return _EnvAliasSink(cols)
+
+    def _pack_next(self, next_cols: Cols, lanes: int) -> np.ndarray:
+        """Pack next-state columns into int64 lanes (requires ``packable``)."""
+        return pack_columns(next_cols, self.state_names, self.state_widths, lanes)
+
     # -- combinational settle -------------------------------------------------
 
     def settle(self, cols: Cols, max_iterations: int = _MAX_SETTLE_ITERATIONS) -> bool:
@@ -774,7 +910,7 @@ class VectorKernel:
         them — per-lane convergence tracking is unnecessary.
         """
         targets = self._settle_targets
-        lanes = len(next(iter(cols.values()))) if cols else 0
+        lanes = self.env_lanes(cols)
         for _ in range(max_iterations):
             before = [cols[name] for name in targets]
             self._comb_pass(cols, lanes)
@@ -786,10 +922,11 @@ class VectorKernel:
         return False
 
     def _comb_pass(self, cols: Cols, lanes: int) -> None:
+        lift = self._stmts._lift
         for value, store in self._assigns:
-            store(_as_array(value(cols), lanes), cols, None, None, lanes)
+            store(lift(value(cols), lanes), cols, None, None, lanes)
         if self._comb:
-            sink = _EnvAliasSink(cols)
+            sink = self._make_alias_sink(cols)
             for process in self._comb:
                 process(cols, sink, None, lanes)
 
@@ -803,7 +940,7 @@ class VectorKernel:
         per-lane written masks, and unwritten lanes keep their old register
         values.
         """
-        nb = _NbSink(env)
+        nb = self._make_nb_sink(env)
         for body, targets in self._seq:
             shadow = dict(env)
             nb.env = shadow
@@ -839,13 +976,12 @@ class VectorKernel:
         """
         env = self.blank_env(lanes)
         for name in self.state_names:
-            env[name] = np.asarray(state_cols[name], dtype=np.int64)
+            env[name] = self.lift_state(name, state_cols[name])
         for name in self.input_names:
             column = input_cols.get(name)
             if column is None:
                 continue  # absent inputs stay 0, like the scalar step
-            mask = self._model.signals[name].mask
-            env[name] = np.asarray(column, dtype=np.int64) & mask
+            env[name] = self.lift_input(name, column, lanes)
         # Clocks are already zero in a blank environment.
         self.settle(env)
         return env, self.next_state_columns(env, lanes)
@@ -860,7 +996,7 @@ class VectorKernel:
             unpack_columns(packed_inputs, self.input_names, self.input_widths),
             lanes,
         )
-        return env, pack_columns(next_cols, self.state_names, self.state_widths, lanes)
+        return env, self._pack_next(next_cols, lanes)
 
 
 class _EnvAliasSink(_NbSink):
@@ -880,12 +1016,96 @@ class _EnvAliasSink(_NbSink):
         self.env[name] = value if mask is None else np.where(mask, value, self.env[name])
 
 
+# ---------------------------------------------------------------------------
+# The lowering planner
+# ---------------------------------------------------------------------------
+
+#: Plan identifiers (also the values accepted by ``REPRO_VECTOR_PLAN``).
+PLAN_SOA = "soa"
+PLAN_BITSLICED = "bitsliced"
+PLAN_MULTILIMB = "multilimb"
+PLAN_FALLBACK = "fallback"
+
+
+@dataclass
+class LoweringPlan:
+    """Outcome of :func:`plan_model` for one design.
+
+    ``plan`` names the representation chosen (or :data:`PLAN_FALLBACK` when
+    every strategy refused the design, in which case ``kernel`` is ``None``
+    and ``reason`` explains why).  ``attempts`` records the failure reason of
+    every strategy that was tried and refused, including for successful
+    plans (e.g. SoA's refusal when multi-limb ends up chosen).
+    """
+
+    plan: str
+    kernel: Optional[VectorKernel]
+    reason: str = ""
+    attempts: Dict[str, str] = field(default_factory=dict)
+
+
+def _build_soa(model: RtlModel) -> VectorKernel:
+    return VectorKernel(model)
+
+
+def _build_bitsliced(model: RtlModel) -> VectorKernel:
+    from .bitslice import BitSlicedKernel
+
+    return BitSlicedKernel(model)
+
+
+def _build_multilimb(model: RtlModel) -> VectorKernel:
+    from .limb import MultiLimbKernel
+
+    return MultiLimbKernel(model)
+
+
+_PLAN_BUILDERS: Dict[str, Callable[[RtlModel], VectorKernel]] = {
+    PLAN_SOA: _build_soa,
+    PLAN_BITSLICED: _build_bitsliced,
+    PLAN_MULTILIMB: _build_multilimb,
+}
+
+
+def plan_model(model: RtlModel) -> LoweringPlan:
+    """Choose and build the best vector lowering for one design.
+
+    Strategy order: the bit-sliced kernel when the design's signal-width
+    histogram and state-space size predict a win (see
+    :func:`repro.sim.bitslice.bitslice_profitable`), then the plain SoA-int64
+    kernel, then the multi-limb kernel for designs SoA refuses (wide signals,
+    wide intermediates, ``**``).  ``REPRO_VECTOR_PLAN`` forces a single named
+    strategy (mainly for equivalence tests).
+    """
+    forced = os.environ.get("REPRO_VECTOR_PLAN")
+    if forced:
+        if forced == PLAN_FALLBACK:
+            return LoweringPlan(plan=PLAN_FALLBACK, kernel=None, reason="forced by env")
+        if forced not in _PLAN_BUILDERS:
+            raise ValueError(f"unknown REPRO_VECTOR_PLAN {forced!r}")
+        order = [forced]
+    else:
+        from .bitslice import bitslice_profitable
+
+        order = []
+        if bitslice_profitable(model):
+            order.append(PLAN_BITSLICED)
+        order.extend((PLAN_SOA, PLAN_MULTILIMB))
+    attempts: Dict[str, str] = {}
+    for plan in order:
+        try:
+            kernel = _PLAN_BUILDERS[plan](model)
+        except (UnsupportedForVectorization, EvalError) as exc:
+            attempts[plan] = str(exc)
+            continue
+        return LoweringPlan(plan=plan, kernel=kernel, attempts=attempts)
+    reason = "; ".join(f"{plan}: {message}" for plan, message in attempts.items())
+    return LoweringPlan(plan=PLAN_FALLBACK, kernel=None, reason=reason, attempts=attempts)
+
+
 def lower_model(model: RtlModel) -> Optional[VectorKernel]:
-    """Lower ``model`` to a :class:`VectorKernel`, or ``None`` if unsupported."""
-    try:
-        return VectorKernel(model)
-    except (UnsupportedForVectorization, EvalError):
-        return None
+    """Lower ``model`` to the planner's chosen kernel, or ``None``."""
+    return plan_model(model).kernel
 
 
 # ---------------------------------------------------------------------------
@@ -957,15 +1177,17 @@ class _FamilyExprCompiler(VectorExprCompiler):
         if not pairs:
             return golden
         pairs_t = tuple(pairs)
+        lift = self._lift_result
+        overlay = self._overlay
 
         def family(cols: Cols) -> np.ndarray:
             members = cols[MUTANT_COLUMN]
             lanes = len(members)
-            value = _as_array(golden(cols), lanes)
+            value = lift(golden(cols), lanes)
             for member, variant in pairs_t:
                 mask = np.equal(members, member)
                 if mask.any():
-                    value = np.where(mask, _as_array(variant(cols), lanes), value)
+                    value = overlay(mask, variant(cols), value, lanes)
             return value
 
         return family
@@ -1133,13 +1355,14 @@ def _model_expr_id_counts(model: RtlModel) -> Dict[int, int]:
     return counts
 
 
-class FamilyKernel(VectorKernel):
-    """A :class:`VectorKernel` over a golden model plus mutation-site patches.
+class _FamilyMixin:
+    """Family-member machinery, independent of the value representation.
 
-    Lanes carry a member id in the :data:`MUTANT_COLUMN` environment column;
-    every compiled expression kernel resolves patched slots per lane, so one
-    ``step`` advances an arbitrary mix of family members.  Member 0 is the
-    golden design and is bit-identical to ``VectorKernel(golden_model)``.
+    Mixed in front of a concrete kernel class (``FamilyKernel`` for SoA,
+    ``MultiLimbFamilyKernel`` for limbs): the :data:`MUTANT_COLUMN` member-id
+    column is always a plain 1-D int64 array, whatever shape the signal
+    columns take, and all lifting/extraction goes through the kernel's
+    representation hooks.
     """
 
     def __init__(self, model: RtlModel, patches: Dict[int, Dict[int, ast.Expr]],
@@ -1164,13 +1387,12 @@ class FamilyKernel(VectorKernel):
         env = self.blank_env(lanes)
         env[MUTANT_COLUMN] = np.asarray(members, dtype=np.int64)
         for name in self.state_names:
-            env[name] = np.asarray(state_cols[name], dtype=np.int64)
+            env[name] = self.lift_state(name, state_cols[name])
         for name in self.input_names:
             column = input_cols.get(name)
             if column is None:
                 continue
-            mask = self._model.signals[name].mask
-            env[name] = np.asarray(column, dtype=np.int64) & mask
+            env[name] = self.lift_input(name, column, lanes)
         self.settle(env)
         return env, self.next_state_columns(env, lanes)
 
@@ -1188,7 +1410,7 @@ class FamilyKernel(VectorKernel):
             unpack_columns(packed_inputs, self.input_names, self.input_widths),
             lanes,
         )
-        return env, pack_columns(next_cols, self.state_names, self.state_widths, lanes)
+        return env, self._pack_next(next_cols, lanes)
 
     def family_simulate(
         self, members: Sequence[int], stimuli: Sequence, cycles: int
@@ -1218,13 +1440,15 @@ class FamilyKernel(VectorKernel):
         sequential = bool(model.seq_processes)
         for cycle in range(cycles):
             for name in model.non_clock_inputs:
-                env[name] = np.tile(stacked[name][cycle], len(members))
+                env[name] = self.lift_input(
+                    name, np.tile(stacked[name][cycle], len(members)), lanes
+                )
             if not self.settle(env):
                 raise CombinationalLoopError(
                     f"combinational logic of {model.name!r} did not settle"
                 )
             for name in signal_names:
-                columns[name].append(env[name].tolist())
+                columns[name].append(self.column_values(env, name))
             if sequential:
                 next_cols = self.next_state_columns(env, lanes)
                 env.update(next_cols)
@@ -1245,6 +1469,16 @@ class FamilyKernel(VectorKernel):
         return traces
 
 
+class FamilyKernel(_FamilyMixin, VectorKernel):
+    """A :class:`VectorKernel` over a golden model plus mutation-site patches.
+
+    Lanes carry a member id in the :data:`MUTANT_COLUMN` environment column;
+    every compiled expression kernel resolves patched slots per lane, so one
+    ``step`` advances an arbitrary mix of family members.  Member 0 is the
+    golden design and is bit-identical to ``VectorKernel(golden_model)``.
+    """
+
+
 @dataclass
 class FamilyLowering:
     """Result of :func:`lower_family`.
@@ -1255,13 +1489,22 @@ class FamilyLowering:
     per-mutant fallback path; ``rejected`` carries the reasons.
     """
 
-    kernel: FamilyKernel
+    kernel: "FamilyKernel"
     member_ids: List[Optional[int]]
     rejected: Dict[int, str]
+    plan: str = PLAN_SOA
 
     def accepted(self) -> List[int]:
         """Positions of the mutants the family kernel covers."""
         return [i for i, member in enumerate(self.member_ids) if member is not None]
+
+
+def _build_multilimb_family(
+    model: RtlModel, patches: Dict[int, Dict[int, ast.Expr]], rejected: Dict[int, str]
+):
+    from .limb import MultiLimbFamilyKernel
+
+    return MultiLimbFamilyKernel(model, patches, rejected)
 
 
 def lower_family(
@@ -1269,33 +1512,44 @@ def lower_family(
 ) -> Optional[FamilyLowering]:
     """Lower a golden model and its mutants into one :class:`FamilyKernel`.
 
-    Returns ``None`` when the *golden* model itself cannot be vector-lowered
-    (every member then falls back).  Individual mutants that cannot share the
-    skeleton are rejected, not fatal.
+    The SoA family kernel is tried first; when the golden model itself is
+    beyond int64 lanes (wide signals, ``**``), the multi-limb family kernel
+    takes over so mutant families of wide designs stay batched.  Each attempt
+    starts from a fresh rejected-member map: a variant rejection specific to
+    one representation (e.g. a variant overflowing int64) must not leak into
+    the next.  Returns ``None`` only when no representation can lower the
+    golden model.  Individual mutants that cannot share the skeleton are
+    rejected, not fatal.
     """
     patches: Dict[int, Dict[int, ast.Expr]] = {}
-    rejected: Dict[int, str] = {}
+    base_rejected: Dict[int, str] = {}
     id_counts = _model_expr_id_counts(golden)
     for position, mutant in enumerate(mutants):
         member = position + 1
         try:
             diffs = _diff_models(golden, mutant)
         except _StructureMismatch:
-            rejected[member] = "mutant does not share the golden AST skeleton"
+            base_rejected[member] = "mutant does not share the golden AST skeleton"
             continue
         if any(id_counts.get(id(slot), 0) != 1 for slot, _ in diffs):
-            rejected[member] = "mutated slot node is shared within the golden model"
+            base_rejected[member] = "mutated slot node is shared within the golden model"
             continue
         for slot, variant in diffs:
             patches.setdefault(id(slot), {})[member] = variant
-    try:
-        kernel = FamilyKernel(golden, patches, rejected)
-    except (UnsupportedForVectorization, EvalError):
-        return None
-    member_ids: List[Optional[int]] = [
-        None if (i + 1) in rejected else (i + 1) for i in range(len(mutants))
-    ]
-    return FamilyLowering(kernel=kernel, member_ids=member_ids, rejected=rejected)
+    builders = ((PLAN_SOA, FamilyKernel), (PLAN_MULTILIMB, _build_multilimb_family))
+    for plan, builder in builders:
+        rejected = dict(base_rejected)
+        try:
+            kernel = builder(golden, patches, rejected)
+        except (UnsupportedForVectorization, EvalError):
+            continue
+        member_ids: List[Optional[int]] = [
+            None if (i + 1) in rejected else (i + 1) for i in range(len(mutants))
+        ]
+        return FamilyLowering(
+            kernel=kernel, member_ids=member_ids, rejected=rejected, plan=plan
+        )
+    return None
 
 
 # ---------------------------------------------------------------------------
@@ -1355,7 +1609,10 @@ def simulate_batch(
     from .stimulus import stack_stimuli
 
     if kernel is None:
-        kernel = VectorKernel(model)
+        plan = plan_model(model)
+        if plan.kernel is None:
+            raise UnsupportedForVectorization(plan.reason)
+        kernel = plan.kernel
     design_name = model.name
     signal_names = list(model.signals)
     num_stimuli = len(stimuli)
@@ -1367,16 +1624,19 @@ def simulate_batch(
         lanes = num_stimuli * cycles
         env = kernel.initial_env(lanes)
         for name in model.non_clock_inputs:
-            env[name] = np.ascontiguousarray(stacked[name].ravel(order="F"))
+            env[name] = kernel.lift_input(
+                name, np.ascontiguousarray(stacked[name].ravel(order="F")), lanes
+            )
         if not kernel.settle(env):
             raise CombinationalLoopError(
                 f"combinational logic of {design_name!r} did not settle"
             )
+        flat = {name: kernel.column_values(env, name) for name in signal_names}
         traces = []
         for lane in range(num_stimuli):
             trace = Trace(signals=list(signal_names), design_name=design_name)
             for name in signal_names:
-                trace.data[name] = env[name][lane * cycles : (lane + 1) * cycles].tolist()
+                trace.data[name] = flat[name][lane * cycles : (lane + 1) * cycles]
             traces.append(trace)
         return traces
 
@@ -1390,13 +1650,13 @@ def simulate_batch(
     sequential = bool(model.seq_processes)
     for cycle in range(cycles):
         for name in model.non_clock_inputs:
-            env[name] = stacked[name][cycle]
+            env[name] = kernel.lift_input(name, stacked[name][cycle], lanes)
         if not kernel.settle(env):
             raise CombinationalLoopError(
                 f"combinational logic of {design_name!r} did not settle"
             )
         for name in signal_names:
-            columns[name].append(env[name].tolist())
+            columns[name].append(kernel.column_values(env, name))
         if sequential:
             next_cols = kernel.next_state_columns(env, lanes)
             env.update(next_cols)

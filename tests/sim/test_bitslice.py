@@ -1,0 +1,311 @@
+"""Bit-sliced lowering: transposed boolean kernels vs the scalar backends.
+
+A bit-sliced kernel packs 64 lanes into each uint64 word of a per-bit signal
+plane, so correctness hinges on exactly the places the transposition can go
+wrong: partial tail words (lanes not a multiple of 64), ripple carries across
+bit planes for ``+``/``-``/compares, and mask blending in control flow.  The
+property tests sweep random boolean/arithmetic expressions at lane counts on
+both sides of the word boundary (63/64/65) and compare against per-lane
+interpreter runs; the simulation tests force the plan and compare whole
+traces and packed step results against the scalar and SoA paths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hdl import Design, ast
+from repro.sim import EvalError, ExprEvaluator, RandomStimulus, Simulator
+from repro.sim.bitslice import (
+    BitPlaneExprCompiler,
+    BitSlicedKernel,
+    _from_planes,
+    _full_words,
+    _to_planes,
+    bitslice_profitable,
+)
+from repro.sim.vector import (
+    PLAN_BITSLICED,
+    PLAN_FALLBACK,
+    PLAN_MULTILIMB,
+    PLAN_SOA,
+    UnsupportedForVectorization,
+    VectorKernel,
+    plan_model,
+    simulate_batch,
+)
+
+_NARROW_SOURCE = """\
+module narrowsigs(s0, s1, s2, s3, s4, s5, t0, t1, y);
+  input s0, s1, s2, s3, s4, s5;
+  input [1:0] t0, t1;
+  output y;
+  assign y = s0;
+endmodule
+"""
+
+_SIGNAL_WIDTHS = {
+    "s0": 1, "s1": 1, "s2": 1, "s3": 1, "s4": 1, "s5": 1, "t0": 2, "t1": 2,
+}
+
+_BINOPS = [
+    "+", "-", "&", "|", "^", "==", "!=", "<", "<=", ">", ">=", "&&", "||",
+]
+_UNOPS = ["~", "!", "-", "&", "|", "^"]
+
+_atoms = st.one_of(
+    st.sampled_from([ast.Identifier(name) for name in _SIGNAL_WIDTHS]),
+    st.integers(0, 7).map(ast.Number),
+    st.tuples(st.integers(0, 7), st.integers(1, 4)).map(
+        lambda t: ast.Number(t[0] & ((1 << t[1]) - 1), t[1])
+    ),
+)
+
+
+def _part_select(t):
+    base, hi, lo = t
+    if hi < lo:
+        hi, lo = lo, hi
+    return ast.PartSelect(base, ast.Number(hi), ast.Number(lo))
+
+
+_exprs = st.recursive(
+    _atoms,
+    lambda children: st.one_of(
+        st.tuples(st.sampled_from(_BINOPS), children, children).map(
+            lambda t: ast.Binary(t[0], t[1], t[2])
+        ),
+        st.tuples(st.sampled_from(_UNOPS), children).map(
+            lambda t: ast.Unary(t[0], t[1])
+        ),
+        st.tuples(children, children, children).map(
+            lambda t: ast.Ternary(t[0], t[1], t[2])
+        ),
+        st.tuples(children, st.integers(0, 3)).map(
+            lambda t: ast.BitSelect(t[0], ast.Number(t[1]))
+        ),
+        st.tuples(children, st.integers(0, 3), st.integers(0, 3)).map(_part_select),
+        st.lists(children, min_size=1, max_size=3).map(
+            lambda parts: ast.Concat(tuple(parts))
+        ),
+        st.tuples(st.integers(0, 2), children).map(
+            lambda t: ast.Replicate(ast.Number(t[0]), t[1])
+        ),
+        # Constant shifts stay in the bit-sliced subset (plane reindexing).
+        st.tuples(st.sampled_from(["<<", ">>"]), children, st.integers(0, 4)).map(
+            lambda t: ast.Binary(t[0], t[1], ast.Number(t[2]))
+        ),
+    ),
+    max_leaves=10,
+)
+
+#: Lane counts straddling the 64-lane word boundary, plus a partial tail.
+_LANE_COUNTS = [1, 63, 64, 65, 130]
+
+
+def _lane_values(planes, lanes):
+    """Reconstruct per-lane Python ints from a plane stack.
+
+    Unlike ``_from_planes`` this has no int64 ceiling: expression
+    *intermediates* (wide concats/replicates of unsized constants) can carry
+    64+ planes even though every signal plane stack stays narrow.
+    """
+    planes = np.asarray(planes)
+    out = []
+    for lane in range(lanes):
+        word, bit = divmod(lane, 64)
+        value = 0
+        for plane in range(planes.shape[0]):
+            # Constant planes broadcast along the word axis.
+            column = word if planes.shape[1] > 1 else 0
+            value |= ((int(planes[plane, column]) >> bit) & 1) << plane
+        out.append(value)
+    return out
+
+
+@pytest.fixture(scope="module")
+def narrow_design():
+    return Design.from_source(_NARROW_SOURCE)
+
+
+@pytest.fixture(scope="module")
+def plane_compiler(narrow_design):
+    return BitPlaneExprCompiler(narrow_design.model)
+
+
+class TestPlaneRoundTrip:
+    @pytest.mark.parametrize("lanes", _LANE_COUNTS)
+    def test_to_from_planes(self, lanes):
+        rng = np.random.default_rng(lanes)
+        values = rng.integers(0, 8, size=lanes, dtype=np.int64)
+        planes = _to_planes(values, 3, lanes)
+        assert planes.dtype == np.uint64
+        assert _from_planes(planes, lanes).tolist() == values.tolist()
+
+    @pytest.mark.parametrize("lanes", _LANE_COUNTS)
+    def test_full_words_tail(self, lanes):
+        full = _full_words(lanes)
+        ones = _from_planes(full.reshape(1, -1), lanes)
+        assert ones.tolist() == [1] * lanes
+
+
+class TestBitPlaneExpressionLanes:
+    @settings(max_examples=250, deadline=None)
+    @given(
+        expr=_exprs,
+        lanes=st.sampled_from(_LANE_COUNTS),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    def test_random_expression_lanes_agree(
+        self, narrow_design, plane_compiler, expr, lanes, seed
+    ):
+        interp = ExprEvaluator(narrow_design.model)
+        try:
+            vec = plane_compiler.compile(expr)
+        except UnsupportedForVectorization:
+            return
+        except EvalError:
+            with pytest.raises(EvalError):
+                interp.eval(expr, {name: 0 for name in _SIGNAL_WIDTHS})
+            return
+        rng = np.random.default_rng(seed)
+        envs = [
+            {
+                name: int(rng.integers(0, 1 << width))
+                for name, width in _SIGNAL_WIDTHS.items()
+            }
+            for _ in range(lanes)
+        ]
+        cols = {
+            name: _to_planes(
+                np.asarray([env[name] for env in envs], dtype=np.int64),
+                _SIGNAL_WIDTHS[name],
+                lanes,
+            )
+            for name in _SIGNAL_WIDTHS
+        }
+        cols["__full__"] = _full_words(lanes)
+        cols["__lanes__"] = np.int64(lanes)
+        out = _lane_values(vec(cols), lanes)
+        assert out == [interp.eval(expr, dict(env)) for env in envs], str(expr)
+
+
+_FSM_SOURCE = """\
+module slicefsm(clk, rst, a, b, state, flag, ones, y0, y1, y2, y3);
+  input clk, rst, a, b;
+  output reg [1:0] state;
+  output reg flag;
+  output [1:0] ones;
+  output y0, y1, y2, y3;
+  reg p0, p1, p2, p3;
+  always @(posedge clk or posedge rst) begin
+    if (rst) begin
+      state <= 2'd0;
+      flag <= 1'b0;
+      p0 <= 1'b0;
+      p1 <= 1'b0;
+      p2 <= 1'b1;
+      p3 <= 1'b0;
+    end else begin
+      case (state)
+        2'd0: state <= a ? 2'd1 : 2'd0;
+        2'd1: state <= b ? 2'd2 : 2'd1;
+        2'd2: state <= (a & b) ? 2'd3 : 2'd0;
+        default: state <= 2'd0;
+      endcase
+      flag <= (state == 2'd3) | (a ^ b);
+      p0 <= a ^ p1;
+      p1 <= b & p2;
+      p2 <= p3 | a;
+      p3 <= ~p0;
+    end
+  end
+  assign ones = {1'b0, a} + {1'b0, b};
+  assign y0 = p0 ^ p2;
+  assign y1 = p1 & flag;
+  assign y2 = state < 2'd2;
+  assign y3 = state[1];
+endmodule
+"""
+
+
+class TestBitSlicedSimulation:
+    def test_fsm_profitable_and_planned(self):
+        design = Design.from_source(_FSM_SOURCE)
+        assert bitslice_profitable(design.model)
+        assert plan_model(design.model).plan == PLAN_BITSLICED
+
+    @pytest.mark.parametrize("num_stimuli", [1, 3])
+    def test_batch_matches_scalar_traces(self, num_stimuli):
+        design = Design.from_source(_FSM_SOURCE)
+        kernel = BitSlicedKernel(design.model)
+        stimuli = [RandomStimulus(seed=seed) for seed in range(num_stimuli)]
+        batched = simulate_batch(design.model, stimuli, 70, kernel=kernel)
+        for seed, trace in enumerate(batched):
+            scalar = Simulator(design, backend="compiled").run(
+                cycles=70, stimulus=RandomStimulus(seed=seed)
+            )
+            for signal in trace.signals:
+                assert trace.column(signal) == scalar.column(signal), (seed, signal)
+
+    @pytest.mark.parametrize("lanes", _LANE_COUNTS)
+    def test_step_packed_bit_identical_to_soa(self, lanes):
+        design = Design.from_source(_FSM_SOURCE)
+        sliced = BitSlicedKernel(design.model)
+        soa = VectorKernel(design.model)
+        rng = np.random.default_rng(lanes)
+        state_bits = sum(soa.state_widths)
+        input_bits = sum(soa.input_widths)
+        states = rng.integers(0, 1 << state_bits, size=lanes, dtype=np.int64)
+        inputs = rng.integers(0, 1 << input_bits, size=lanes, dtype=np.int64)
+        env_b, next_b = sliced.step_packed(states, inputs)
+        env_s, next_s = soa.step_packed(states, inputs)
+        assert np.array_equal(next_b, next_s)
+        for lane in range(lanes):
+            assert sliced.env_row(env_b, lane) == soa.env_row(env_s, lane)
+
+
+class TestPlanner:
+    def test_profitability_thresholds(self, narrow_design, adder_design):
+        # Eight narrow signals: worth transposing.  The adder's 4/5-bit
+        # datapath signals are not.
+        assert bitslice_profitable(narrow_design.model)
+        assert not bitslice_profitable(adder_design.model)
+
+    def test_forced_plans(self, monkeypatch):
+        design = Design.from_source(_FSM_SOURCE)
+        for plan_name, expected in (
+            (PLAN_SOA, PLAN_SOA),
+            (PLAN_BITSLICED, PLAN_BITSLICED),
+            (PLAN_FALLBACK, PLAN_FALLBACK),
+        ):
+            monkeypatch.setenv("REPRO_VECTOR_PLAN", plan_name)
+            plan = plan_model(design.model)
+            assert plan.plan == expected
+            if expected == PLAN_FALLBACK:
+                assert plan.kernel is None
+            else:
+                assert plan.kernel is not None
+
+    def test_forced_unknown_plan_raises(self, monkeypatch):
+        design = Design.from_source(_FSM_SOURCE)
+        monkeypatch.setenv("REPRO_VECTOR_PLAN", "quantum")
+        with pytest.raises(ValueError):
+            plan_model(design.model)
+
+    def test_forced_multilimb_covers_narrow_model(self, monkeypatch):
+        design = Design.from_source(_FSM_SOURCE)
+        monkeypatch.setenv("REPRO_VECTOR_PLAN", PLAN_MULTILIMB)
+        plan = plan_model(design.model)
+        assert plan.plan == PLAN_MULTILIMB
+        stimuli = [RandomStimulus(seed=seed) for seed in range(2)]
+        batched = simulate_batch(design.model, stimuli, 30, kernel=plan.kernel)
+        for seed, trace in enumerate(batched):
+            scalar = Simulator(design, backend="compiled").run(
+                cycles=30, stimulus=RandomStimulus(seed=seed)
+            )
+            for signal in trace.signals:
+                assert trace.column(signal) == scalar.column(signal)
